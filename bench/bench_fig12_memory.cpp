@@ -1,0 +1,54 @@
+// Figure 12: peak device-memory consumption, batch size 10, hidden hs.
+// Paper shape: PyTorch lowest (no batching, frees aggressively); Cortex
+// next (fusion materializes almost no intermediates — just the state
+// table and linearizer arrays); DyNet(inference) above Cortex (contiguity
+// scratch + level-wise frees); DyNet and Cavs highest (training-capable:
+// every intermediate retained for a potential backward pass). The
+// open-source Cavs build has no DAG support (§7.2), so DAG-RNN shows "-".
+
+#include "common.hpp"
+
+using namespace cortex;
+
+int main() {
+  std::printf("Fig. 12 reproduction: peak memory (kB), batch 10, "
+              "hidden hs, GPU\n\n");
+  std::printf("%-10s %10s %10s %14s %10s %10s\n", "model", "PyTorch",
+              "DyNet", "DyNet(inf)", "Cavs", "Cortex");
+  bench::print_rule(70);
+
+  const runtime::DeviceSpec spec = runtime::DeviceSpec::v100_gpu();
+  for (const std::string name :
+       {"TreeFC", "DAG-RNN", "TreeGRU", "TreeLSTM", "MV-RNN"}) {
+    Rng rng(77);
+    const models::ModelDef def =
+        bench::make_model(name, bench::hidden_size(name, true));
+    const models::ModelParams params = models::init_params(def, rng);
+    const bench::Workload w = bench::make_workload(name, 10, rng);
+
+    baselines::EagerEngine eager(def, params, spec);
+    baselines::DynetEngine dynet(def, params, spec);
+    baselines::DynetEngine dynet_inf(def, params, spec,
+                                     {/*inference_memory=*/true});
+    exec::CortexEngine cortex_engine(def, params, ra::Schedule{}, spec);
+
+    auto kb = [](std::int64_t bytes) {
+      return static_cast<double>(bytes) / 1024.0;
+    };
+    std::printf("%-10s %10.1f %10.1f %14.1f", name.c_str(),
+                kb(bench::run_eager(eager, w, 1).peak_memory_bytes),
+                kb(bench::run_dynet(dynet, w, 1).peak_memory_bytes),
+                kb(bench::run_dynet(dynet_inf, w, 1).peak_memory_bytes));
+    if (w.is_dag()) {
+      std::printf(" %10s", "-");
+    } else {
+      baselines::CavsEngine cavs(def, params, spec);
+      std::printf(" %10.1f",
+                  kb(bench::run_cavs(cavs, w, 1).peak_memory_bytes));
+    }
+    std::printf(" %10.1f\n",
+                kb(bench::run_cortex(cortex_engine, w, 1)
+                       .peak_memory_bytes));
+  }
+  return 0;
+}

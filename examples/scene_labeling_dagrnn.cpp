@@ -1,0 +1,92 @@
+// Scene labeling with DAG-RNN (Shuai et al. 2015): images are modeled as
+// grid DAGs whose south-east scan propagates context; the recursive
+// portion is h_v = tanh(U * sum_{preds} h_u + x_v + b). Demonstrates the
+// DAG path of the pipeline: wavefront dynamic batching, no leaf branch
+// (specialization is a no-op), and CSR child indexing.
+//
+//   $ ./example_scene_labeling_dagrnn [grid_size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/eager.hpp"
+#include "ds/generators.hpp"
+#include "exec/engine.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace cortex;
+
+int main(int argc, char** argv) {
+  const std::int64_t grid = argc > 1 ? std::atoll(argv[1]) : 10;
+  const std::int64_t hidden = 64;
+  const std::int64_t num_labels = 4;
+  Rng rng(99);
+
+  const models::ModelDef def = models::make_dagrnn(hidden);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto dag = ds::make_grid_dag(grid, grid, rng);
+  const std::vector<const ds::Dag*> batch = {dag.get()};
+
+  std::printf("DAG-RNN scene labeling demo: %lldx%lld grid DAG, hidden "
+              "%lld\n",
+              static_cast<long long>(grid), static_cast<long long>(grid),
+              static_cast<long long>(hidden));
+
+  const runtime::DeviceSpec spec = runtime::DeviceSpec::v100_gpu();
+  exec::CortexEngine engine(def, params, ra::Schedule{}, spec);
+  const runtime::RunResult r = engine.run(batch);
+
+  const linearizer::Linearized lin = linearizer::linearize_dags(
+      batch, engine.lowered()->lin_spec.kind == linearizer::StructureKind::kDag
+                 ? engine.lowered()->lin_spec
+                 : linearizer::LinearizerSpec{linearizer::StructureKind::kDag,
+                                              true, true, 8});
+  std::printf("Wavefront batches: %lld (grid anti-diagonals: %lld)\n",
+              static_cast<long long>(lin.num_batches()),
+              static_cast<long long>(2 * grid - 1));
+
+  // Label each cell by a fixed projection of its hidden state.
+  Rng proj_rng(5);
+  std::vector<float> proj(
+      static_cast<std::size_t>(num_labels * hidden));
+  proj_rng.fill_uniform(proj.data(), proj.size(), -0.3f, 0.3f);
+  const Tensor& states = engine.last_states();
+  std::printf("\nPredicted labels (south-east scan):\n");
+  // Node (r,c) of the single DAG was renumbered; recover via wavefront
+  // depth r+c and order within it. For the demo we just label the first
+  // `grid` nodes of the linearization per row of output.
+  for (std::int64_t rr = 0; rr < grid; ++rr) {
+    std::printf("  ");
+    for (std::int64_t cc = 0; cc < grid; ++cc) {
+      // Find the linearized id whose (row, col) is (rr, cc): wavefront
+      // rr+cc, position = count of earlier members in that diagonal.
+      // For the demo, approximate with a direct pass over node ids.
+      const std::int64_t flat = rr * grid + cc;
+      std::int64_t best = 0;
+      float best_v = -1e30f;
+      const float* h = states.row(lin.exec_order[
+          static_cast<std::size_t>(flat % lin.num_nodes)]);
+      for (std::int64_t l = 0; l < num_labels; ++l) {
+        float dot = 0.0f;
+        for (std::int64_t i = 0; i < hidden; ++i)
+          dot += proj[static_cast<std::size_t>(l * hidden + i)] * h[i];
+        if (dot > best_v) {
+          best_v = dot;
+          best = l;
+        }
+      }
+      std::printf("%c", static_cast<char>('A' + best));
+    }
+    std::printf("\n");
+  }
+
+  baselines::EagerEngine eager(def, params, spec);
+  const runtime::RunResult e = eager.run(batch);
+  std::printf("\nModeled GPU latency: Cortex %.3f ms | eager %.3f ms "
+              "(%.0fx)\n",
+              r.latency_ms(), e.latency_ms(),
+              e.latency_ms() / r.latency_ms());
+  std::printf("Sink-state outputs match eager: %s\n",
+              r.root_states == e.root_states ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+// Cavs-like baseline (Xu et al. 2018): a vertex-centric runtime. The user
+// supplies the per-vertex cell function once; at run time Cavs
+//   1. groups structure nodes into wavefronts (no per-input dataflow
+//      graph — the overhead DyNet pays and Cavs avoids, Table 6),
+//   2. per wavefront, *pulls* child states into contiguous workspaces
+//      (gather memcpys), executes the cell one batched operator at a
+//      time — optionally with elementwise-chain fusion ("partial" fusion
+//      in Table 1) — and *scatters* results back.
+// Like DyNet it is a training-capable system: intermediates are retained
+// (Fig. 12). The open-source build the paper compares against has no
+// specialization, so leaves run through the same vertex function.
+
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "runtime/device.hpp"
+
+namespace cortex::baselines {
+
+struct CavsConfig {
+  /// Fuse maximal chains of consecutive elementwise operators into one
+  /// kernel (the paper could not enable this for TreeFC/TreeGRU, §7.2).
+  bool fuse_eltwise = true;
+};
+
+class CavsEngine {
+ public:
+  CavsEngine(const models::ModelDef& def, const models::ModelParams& params,
+             runtime::DeviceSpec spec, CavsConfig config = {});
+
+  runtime::RunResult run(const std::vector<const ds::Tree*>& trees);
+
+ private:
+  const models::ModelDef& def_;
+  const models::ModelParams& params_;
+  runtime::DeviceSpec spec_;
+  CavsConfig config_;
+};
+
+}  // namespace cortex::baselines

@@ -1,0 +1,46 @@
+#pragma once
+// DyNet-like baseline (Neubig et al. 2017): a define-by-run framework
+// with on-the-fly operator batching. Per inference it
+//   1. constructs a runtime dataflow graph with one node per (structure
+//      node x cell operator) — the "much larger graph" of §7.2,
+//   2. runs an agenda-based dynamic-batching pass grouping same-signature
+//      operators whose dependences are satisfied,
+//   3. executes one batched vendor-library kernel per group, gathering
+//      operand rows into contiguous scratch first (the contiguity checks
+//      and copies Table 6 charges to "Mem. mgmt. time").
+// Memory: a training-capable framework — intermediate tensors are kept
+// for the backward pass (Fig. 12); the `inference_memory` option models
+// the paper's "DyNet (inference)" variant that frees a tensor when its
+// last consumer finishes.
+
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "runtime/device.hpp"
+
+namespace cortex::baselines {
+
+struct DynetConfig {
+  /// Free tensors after their last forward-pass use (Fig. 12's
+  /// "DyNet (inference)" bar). Default models training-style retention.
+  bool inference_memory = false;
+};
+
+class DynetEngine {
+ public:
+  DynetEngine(const models::ModelDef& def, const models::ModelParams& params,
+              runtime::DeviceSpec spec, DynetConfig config = {});
+
+  runtime::RunResult run(const std::vector<const ds::Tree*>& trees);
+  runtime::RunResult run(const std::vector<const ds::Dag*>& dags);
+
+ private:
+  runtime::RunResult run_shared(SharedStates ss);
+
+  const models::ModelDef& def_;
+  const models::ModelParams& params_;
+  runtime::DeviceSpec spec_;
+  DynetConfig config_;
+};
+
+}  // namespace cortex::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// PyTorch-like eager baseline (§7.2): the model is an eager recursive
+// interpreter. No dynamic batching (each node is processed alone, so
+// device kernels see parallelism = one node's width), no fusion (one
+// kernel launch per operator per node), framework dispatch overhead per
+// operator. Memory is the win: only the recursion frontier is live
+// (Fig. 12 shows PyTorch using the least memory).
+
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "runtime/device.hpp"
+
+namespace cortex::baselines {
+
+struct EagerConfig {
+  /// Host-side framework dispatch cost per operator call (the eager
+  /// interpreter's per-op bookkeeping above the raw launch cost).
+  double dispatch_ns = 1200.0;
+};
+
+class EagerEngine {
+ public:
+  EagerEngine(const models::ModelDef& def, const models::ModelParams& params,
+              runtime::DeviceSpec spec, EagerConfig config = {});
+
+  runtime::RunResult run(const std::vector<const ds::Tree*>& trees);
+  runtime::RunResult run(const std::vector<const ds::Dag*>& dags);
+
+ private:
+  const models::ModelDef& def_;
+  const models::ModelParams& params_;
+  runtime::DeviceSpec spec_;
+  EagerConfig config_;
+};
+
+}  // namespace cortex::baselines

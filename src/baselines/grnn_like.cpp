@@ -1,0 +1,88 @@
+#include "baselines/grnn_like.hpp"
+
+#include <algorithm>
+
+#include "exec/plan.hpp"
+#include "tensor/workspace.hpp"
+
+namespace cortex::baselines {
+
+namespace {
+constexpr std::int64_t kF = sizeof(float);
+}
+
+runtime::RunResult run_grnn(const models::ModelDef& def,
+                            const models::ModelParams& params,
+                            const std::vector<const ds::Tree*>& chains,
+                            const runtime::DeviceSpec& spec,
+                            const GrnnConfig& config) {
+  def.cell.validate();
+  SharedStates ss = compute_states(def, params, chains);
+
+  runtime::Device device(spec);
+  runtime::Profiler& prof = device.profiler();
+  Workspace ws;
+
+  const auto widths = def.cell.register_widths();
+  const std::int64_t sw = def.cell.state_width;
+  const std::int64_t h = def.hidden;
+  const auto batch = static_cast<std::int64_t>(chains.size());
+  // Sequence length = number of timesteps = internal nodes per chain.
+  std::int64_t steps = 0;
+  for (const ds::Tree* c : chains)
+    steps = std::max(steps, c->num_internal());
+
+  // Weights live on-chip for the whole run (persistence): one off-chip
+  // read total. The running h (and c) also stay in registers.
+  std::int64_t weight_bytes = 0;
+  for (const auto& [name, bytes] : exec::model_param_bytes(def))
+    if (name != "Emb") weight_bytes += bytes;
+  CORTEX_CHECK(weight_bytes <= spec.onchip_capacity_bytes)
+      << "GRNN persistence requires weights to fit on-chip";
+
+  const std::int64_t flops_per_node = def.cell.internal_flops();
+  const std::int64_t sync_per_step =
+      (config.refactor && def.refactor_extra_bytes_per_node == 0)
+          ? 1
+          : def.sync_points_per_step;
+  // Same parallelism rule the Cortex plan uses for fused kernels, so the
+  // Fig. 9 comparison is apples-to-apples.
+  const std::int64_t lane_width =
+      exec::concurrent_width(def.cell.internal_ops, sw);
+
+  // Single persistent kernel launch for the whole sequence.
+  prof.kernel_launches = 1;
+  prof.host_api_ns += spec.kernel_launch_ns;
+  bool weights_charged = false;
+  for (std::int64_t s = 0; s < steps; ++s) {
+    runtime::KernelDesc d;
+    d.flops = flops_per_node * batch;
+    // Off-chip traffic per step: the embedded input token per lane plus
+    // the streamed-out hidden state; h/c stay in registers.
+    d.bytes_read = batch * (h * kF + 4);
+    d.bytes_written = batch * h * kF;
+    if (!weights_charged) {
+      d.bytes_weights += weight_bytes;
+      weights_charged = true;
+    }
+    d.parallelism = batch * lane_width;
+    prof.device_compute_ns += device.kernel_exec_ns(d);
+    prof.device_bytes_read += d.bytes_read + d.bytes_weights;
+    prof.device_bytes_written += d.bytes_written;
+    prof.device_flops += d.flops;
+    for (std::int64_t k = 0; k < sync_per_step; ++k)
+      device.barrier(config.lock_free_barrier);
+  }
+
+  // Device memory: per-lane state double-buffer + streamed outputs.
+  ws.allocate(batch * sw * kF * 2);
+  ws.allocate(batch * steps * h * kF);
+
+  runtime::RunResult rr;
+  rr.root_states = std::move(ss.root_states);
+  rr.profiler = device.profiler();
+  rr.peak_memory_bytes = ws.peak_bytes();
+  return rr;
+}
+
+}  // namespace cortex::baselines

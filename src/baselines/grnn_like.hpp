@@ -1,0 +1,36 @@
+#pragma once
+// GRNN-like baseline (Holmes et al. 2019): hand-optimized *persistent*
+// sequential LSTM/GRU GPU implementations, the strongest available
+// comparison point for sequences (Fig. 9; there are no hand-optimized
+// recursive implementations to compare against). One fused persistent
+// kernel executes the whole sequence: weights and the running hidden
+// state stay on-chip, each timestep ends in a device-wide barrier —
+// lock-free (Xiao & Feng) in GRNN proper, lock-based in the variant the
+// paper adds for a fair comparison with Cortex.
+
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "runtime/device.hpp"
+
+namespace cortex::baselines {
+
+struct GrnnConfig {
+  /// GRNN's lock-free global barrier; false = the lock-based variant.
+  bool lock_free_barrier = true;
+  /// Recursive refactoring applied to the GRU (one sync point per step
+  /// instead of two); ignored for single-phase cells.
+  bool refactor = false;
+};
+
+/// Runs a sequential cell model (make_seq_lstm / make_seq_gru) over a
+/// batch of equal-length chains. `chains` must be chain trees
+/// (ds::make_chain_tree) so outputs are comparable with CortexEngine runs
+/// on the same inputs.
+runtime::RunResult run_grnn(const models::ModelDef& def,
+                            const models::ModelParams& params,
+                            const std::vector<const ds::Tree*>& chains,
+                            const runtime::DeviceSpec& spec,
+                            const GrnnConfig& config = {});
+
+}  // namespace cortex::baselines

@@ -1,0 +1,52 @@
+#include "ds/dag.hpp"
+
+#include <algorithm>
+
+namespace cortex::ds {
+
+Dag::Dag(std::int64_t num_nodes)
+    : preds_(static_cast<std::size_t>(num_nodes)),
+      succs_(static_cast<std::size_t>(num_nodes)),
+      words_(static_cast<std::size_t>(num_nodes), 0) {
+  CORTEX_CHECK(num_nodes > 0) << "DAG must have at least one node";
+}
+
+void Dag::add_edge(std::int64_t pred, std::int64_t succ) {
+  check_node(pred);
+  check_node(succ);
+  CORTEX_CHECK(pred != succ) << "self edge " << pred;
+  preds_[static_cast<std::size_t>(succ)].push_back(pred);
+  succs_[static_cast<std::size_t>(pred)].push_back(succ);
+  ++num_edges_;
+}
+
+std::int64_t Dag::max_fanin() const {
+  std::int64_t m = 0;
+  for (const auto& p : preds_)
+    m = std::max(m, static_cast<std::int64_t>(p.size()));
+  return m;
+}
+
+void Dag::validate() const {
+  // Kahn's algorithm: if we cannot consume every node, a cycle exists.
+  std::vector<std::int64_t> indeg(static_cast<std::size_t>(num_nodes()), 0);
+  for (std::int64_t v = 0; v < num_nodes(); ++v)
+    indeg[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(preds(v).size());
+  std::vector<std::int64_t> stack;
+  for (std::int64_t v = 0; v < num_nodes(); ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+  std::int64_t consumed = 0;
+  while (!stack.empty()) {
+    const std::int64_t v = stack.back();
+    stack.pop_back();
+    ++consumed;
+    for (std::int64_t s : succs(v))
+      if (--indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+  }
+  CORTEX_CHECK(consumed == num_nodes())
+      << "cycle detected: only " << consumed << " of " << num_nodes()
+      << " nodes are topologically orderable";
+}
+
+}  // namespace cortex::ds

@@ -1,0 +1,67 @@
+#pragma once
+// Directed acyclic graphs for the DAG-RNN model (Shuai et al. 2015): nodes
+// may have multiple parents, so unrolling/refactoring are disallowed (§3.1)
+// but dynamic batching by wavefront still applies.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace cortex::ds {
+
+/// A DAG stored as adjacency lists. Node ids are dense [0, num_nodes).
+/// Edges point from predecessor (child, computed first) to successor
+/// (parent). "Leaves" are nodes with no predecessors.
+class Dag {
+ public:
+  explicit Dag(std::int64_t num_nodes);
+
+  /// Adds edge: `succ` consumes the state of `pred`.
+  void add_edge(std::int64_t pred, std::int64_t succ);
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(preds_.size());
+  }
+  std::int64_t num_edges() const { return num_edges_; }
+
+  const std::vector<std::int64_t>& preds(std::int64_t node) const {
+    return preds_[check_node(node)];
+  }
+  const std::vector<std::int64_t>& succs(std::int64_t node) const {
+    return succs_[check_node(node)];
+  }
+  bool is_leaf(std::int64_t node) const {
+    return preds_[check_node(node)].empty();
+  }
+
+  /// Word/feature id attached to each node (inputs for DAG-RNN).
+  void set_word(std::int64_t node, std::int32_t word) {
+    words_[check_node(node)] = word;
+  }
+  std::int32_t word(std::int64_t node) const {
+    return words_[check_node(node)];
+  }
+
+  /// Maximum number of predecessors over all nodes.
+  std::int64_t max_fanin() const;
+
+  /// Validates acyclicity; throws cortex::Error if a cycle exists.
+  void validate() const;
+
+ private:
+  std::size_t check_node(std::int64_t node) const {
+    CORTEX_CHECK(node >= 0 && node < num_nodes())
+        << "bad node id " << node << " of " << num_nodes();
+    return static_cast<std::size_t>(node);
+  }
+  std::vector<std::vector<std::int64_t>> preds_;
+  std::vector<std::vector<std::int64_t>> succs_;
+  std::vector<std::int32_t> words_;
+  std::int64_t num_edges_ = 0;
+};
+
+/// A batch of DAGs processed independently.
+using DagBatch = std::vector<const Dag*>;
+
+}  // namespace cortex::ds

@@ -1,0 +1,105 @@
+#include "ds/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cortex::ds {
+
+namespace {
+
+TreeNode* build_perfect(Tree& tree, std::int64_t height, Rng& rng,
+                        std::int32_t vocab) {
+  if (height == 0)
+    return tree.make_leaf(static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(vocab))));
+  TreeNode* l = build_perfect(tree, height - 1, rng, vocab);
+  TreeNode* r = build_perfect(tree, height - 1, rng, vocab);
+  return tree.make_internal(l, r);
+}
+
+}  // namespace
+
+std::unique_ptr<Tree> make_perfect_tree(std::int64_t height, Rng& rng,
+                                        std::int32_t vocab) {
+  CORTEX_CHECK(height >= 0) << "negative tree height";
+  auto tree = std::make_unique<Tree>();
+  tree->set_root(build_perfect(*tree, height, rng, vocab));
+  return tree;
+}
+
+std::unique_ptr<Tree> make_random_parse_tree(std::int64_t num_leaves,
+                                             Rng& rng, std::int32_t vocab) {
+  CORTEX_CHECK(num_leaves >= 1) << "parse tree needs >= 1 leaf";
+  auto tree = std::make_unique<Tree>();
+  std::vector<TreeNode*> frontier;
+  frontier.reserve(static_cast<std::size_t>(num_leaves));
+  for (std::int64_t i = 0; i < num_leaves; ++i)
+    frontier.push_back(tree->make_leaf(static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(vocab)))));
+  // Binarization: merge random adjacent pairs until one root remains,
+  // mimicking the shape variety of binarized treebank constituents.
+  while (frontier.size() > 1) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(frontier.size() - 1)));
+    TreeNode* merged = tree->make_internal(frontier[i], frontier[i + 1]);
+    frontier[i] = merged;
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(i + 1));
+  }
+  tree->set_root(frontier.front());
+  return tree;
+}
+
+std::unique_ptr<Tree> make_sst_like_tree(Rng& rng, std::int32_t vocab) {
+  // SST sentence lengths: mean 19.1 tokens, sd ~9.3, clipped to [3, 52].
+  const float len = 19.1f + 9.3f * rng.next_gaussian();
+  const auto leaves = static_cast<std::int64_t>(
+      std::clamp(std::lround(len), 3l, 52l));
+  return make_random_parse_tree(leaves, rng, vocab);
+}
+
+std::vector<std::unique_ptr<Tree>> make_sst_like_batch(std::int64_t batch,
+                                                       Rng& rng,
+                                                       std::int32_t vocab) {
+  CORTEX_CHECK(batch >= 1) << "batch must be >= 1";
+  std::vector<std::unique_ptr<Tree>> out;
+  out.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i)
+    out.push_back(make_sst_like_tree(rng, vocab));
+  return out;
+}
+
+std::unique_ptr<Tree> make_chain_tree(std::int64_t length, Rng& rng,
+                                      std::int32_t vocab) {
+  CORTEX_CHECK(length >= 1) << "chain needs >= 1 element";
+  auto tree = std::make_unique<Tree>();
+  TreeNode* acc = tree->make_leaf(static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(vocab))));
+  for (std::int64_t i = 1; i < length; ++i) {
+    TreeNode* leaf = tree->make_leaf(static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(vocab))));
+    acc = tree->make_internal(acc, leaf);
+  }
+  tree->set_root(acc);
+  return tree;
+}
+
+std::unique_ptr<Dag> make_grid_dag(std::int64_t rows, std::int64_t cols,
+                                   Rng& rng, std::int32_t vocab) {
+  CORTEX_CHECK(rows >= 1 && cols >= 1) << "grid must be >= 1x1";
+  auto dag = std::make_unique<Dag>(rows * cols);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int64_t v = r * cols + c;
+      dag->set_word(v, static_cast<std::int32_t>(rng.next_below(
+                           static_cast<std::uint64_t>(vocab))));
+      if (r > 0) dag->add_edge((r - 1) * cols + c, v);
+      if (c > 0) dag->add_edge(r * cols + (c - 1), v);
+    }
+  return dag;
+}
+
+TreeStats tree_stats(const Tree& t) {
+  return TreeStats{t.num_nodes(), t.num_leaves(), t.height()};
+}
+
+}  // namespace cortex::ds

@@ -1,0 +1,243 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+
+#include "ilir/passes.hpp"
+
+namespace cortex::exec {
+
+namespace {
+constexpr std::int64_t kF = sizeof(float);
+
+/// Device-resident bytes of the linearizer's arrays (they are shipped to
+/// the device for the generated code to index).
+std::int64_t linearized_bytes(const linearizer::Linearized& lin) {
+  const std::size_t elems = lin.left.size() + lin.right.size() +
+                            lin.word.size() + lin.height.size() +
+                            lin.child_offsets.size() + lin.child_ids.size() +
+                            lin.batch_begin.size() + lin.batch_length.size() +
+                            lin.exec_order.size();
+  return static_cast<std::int64_t>(elems) * 4;
+}
+}  // namespace
+
+CortexEngine::CortexEngine(const models::ModelDef& def,
+                           const models::ModelParams& params,
+                           ra::Schedule schedule, runtime::DeviceSpec spec)
+    : def_(def),
+      params_(params),
+      schedule_(schedule),
+      spec_(std::move(spec)),
+      plan_(build_plan(def, schedule, spec_)),
+      cell_exec_(def.cell, params) {
+  def_.cell.validate();
+  if (def_.model) {
+    // lower() verifies P.1-P.3 and validates the schedule against the
+    // model; the lowered program is the compiler's ILIR artifact.
+    lowered_ = lowering::lower(*def_.model, schedule_);
+    // Apply the schedule's ILIR-level optimizations to produce the
+    // target program (what codegen_c would emit for the device).
+    ilir::Program p = lowered_->program;
+    const std::vector<std::string> live_out = {lowered_->output};
+    if (schedule_.fusion == ra::FusionLevel::kMaximal) {
+      p = ilir::fuse_elementwise_loops(p);
+      p = ilir::forward_stores(p);
+      p = ilir::eliminate_dead_stores(p, live_out);
+    }
+    if (schedule_.dense_intermediates && schedule_.dynamic_batching)
+      p = ilir::dense_index_intermediates(p, "node", "n_idx",
+                                          "max_batch_size", live_out);
+    if (schedule_.loop_peeling && schedule_.dynamic_batching)
+      p = ilir::peel_variable_loop(p, 4);
+    p = ilir::insert_barriers(p, schedule_.improved_barrier_placement);
+    optimized_ = std::move(p);
+  } else {
+    // Cell-only models (the sequential Fig. 9 cells) still respect the
+    // Appendix-D register-pressure constraint.
+    CORTEX_CHECK(!(schedule_.unroll_depth > 1 && schedule_.persistence))
+        << "unrolling precludes persistence (Appendix D)";
+  }
+}
+
+runtime::RunResult CortexEngine::run(
+    const std::vector<const ds::Tree*>& trees) {
+  CORTEX_CHECK(def_.model ? def_.model->kind != linearizer::StructureKind::kDag
+                          : true)
+      << "model " << def_.name << " expects DAG inputs";
+  const linearizer::LinearizerSpec lspec =
+      lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
+  const std::int64_t t0 = runtime::now_ns();
+  const linearizer::Linearized lin = linearizer::linearize_trees(trees, lspec);
+  const double lin_ns = static_cast<double>(runtime::now_ns() - t0);
+  return run_linearized(lin, lin_ns);
+}
+
+runtime::RunResult CortexEngine::run(
+    const std::vector<std::unique_ptr<ds::Tree>>& trees) {
+  std::vector<const ds::Tree*> raw;
+  raw.reserve(trees.size());
+  for (const auto& t : trees) raw.push_back(t.get());
+  return run(raw);
+}
+
+runtime::RunResult CortexEngine::run(const std::vector<const ds::Dag*>& dags) {
+  linearizer::LinearizerSpec lspec =
+      lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
+  lspec.kind = linearizer::StructureKind::kDag;
+  const std::int64_t t0 = runtime::now_ns();
+  const linearizer::Linearized lin = linearizer::linearize_dags(dags, lspec);
+  const double lin_ns = static_cast<double>(runtime::now_ns() - t0);
+  return run_linearized(lin, lin_ns);
+}
+
+void CortexEngine::run_numerics(const linearizer::Linearized& lin) {
+  std::vector<const float*> kids;
+  for (const std::int32_t id : lin.exec_order) {
+    const auto i = static_cast<std::size_t>(id);
+    const std::int32_t off0 = lin.child_offsets[i];
+    const std::int32_t off1 = lin.child_offsets[i + 1];
+    kids.clear();
+    for (std::int32_t c = off0; c < off1; ++c)
+      kids.push_back(
+          states_.row(lin.child_ids[static_cast<std::size_t>(c)]));
+    cell_exec_.run_node(off0 == off1, kids, lin.word[i], states_.row(id));
+  }
+}
+
+void CortexEngine::account_batched(const linearizer::Linearized& lin,
+                                   runtime::Device& device, Workspace& ws) {
+  runtime::Profiler& prof = device.profiler();
+  const bool mega = plan_.megakernel;
+  const std::int64_t d = plan_.unroll_depth;
+  bool weights_charged = false;
+
+  if (mega) {
+    // One launch for the whole inference; steps separated by device-wide
+    // barriers inside the kernel (Table 6: Cortex => 1 kernel call).
+    prof.kernel_launches += 1;
+    prof.host_api_ns += spec_.kernel_launch_ns;
+  }
+
+  // Per-step transient intermediates exist only at vendor-library
+  // granularity; a fused kernel keeps them on-chip (Fig. 8).
+  std::int64_t step_tmp_width = 0;
+  if (schedule_.fusion == ra::FusionLevel::kNone)
+    for (const auto& [reg, w] : def_.cell.register_widths())
+      step_tmp_width += w;
+
+  auto run_step = [&](const std::vector<KernelTemplate>& step,
+                      std::int64_t nodes) {
+    std::int64_t tmp_ticket = -1;
+    if (step_tmp_width > 0 && step.size() > 1)
+      tmp_ticket = ws.allocate(nodes * step_tmp_width * kF);
+    for (const KernelTemplate& t : step) {
+      runtime::KernelDesc k;
+      k.flops = t.flops_per_node * nodes;
+      k.bytes_read = t.bytes_read_per_node * nodes;
+      k.bytes_written = t.bytes_written_per_node * nodes;
+      k.parallelism = nodes * std::max<std::int64_t>(t.width, 1);
+      if (plan_.persistent) {
+        if (!weights_charged) {
+          k.bytes_weights += plan_.persisted_weight_bytes;
+          weights_charged = true;
+        }
+      } else {
+        k.bytes_weights += t.weight_bytes;
+      }
+      if (mega) {
+        prof.device_compute_ns += device.kernel_exec_ns(k);
+        prof.device_bytes_read += k.bytes_read + k.bytes_weights;
+        prof.device_bytes_written += k.bytes_written;
+        prof.device_flops += k.flops;
+      } else {
+        device.launch(k);
+      }
+    }
+    if (tmp_ticket >= 0) ws.release(tmp_ticket);
+  };
+
+  // Batch 0: the leaf batch (or the source wavefront for DAGs).
+  run_step(plan_.leaf_step, lin.batch_length.front());
+
+  // Internal batches, grouped by the unroll depth: an unrolled schedule
+  // covers `d` consecutive height levels per kernel instance (Fig. 3).
+  const std::int64_t num_batches = lin.num_batches();
+  for (std::int64_t b = 1; b < num_batches; b += d) {
+    std::int64_t nodes = 0;
+    for (std::int64_t g = b; g < std::min(b + d, num_batches); ++g)
+      nodes += lin.batch_length[static_cast<std::size_t>(g)];
+    if (mega) {
+      // Barriers separating this step group from the previous one. A
+      // block-local schedule synchronizes unrolled sub-levels inside the
+      // thread block for free; a batched global schedule needs extra
+      // device-wide barriers per unrolled level and cannot amortize them
+      // across the batch (Fig. 11).
+      std::int64_t barriers = plan_.sync_points_per_step;
+      if (d > 1) barriers = plan_.block_local ? plan_.sync_points_per_step
+                                              : 2 * d * barriers;
+      for (std::int64_t k = 0; k < barriers; ++k)
+        device.barrier(plan_.lock_free_barrier);
+    }
+    run_step(plan_.internal_step, nodes);
+  }
+}
+
+void CortexEngine::account_unbatched(const linearizer::Linearized& lin,
+                                     runtime::Device& device, Workspace& ws) {
+  // No dynamic batching: one (set of) launch(es) per node in topological
+  // order — the degenerate schedule that shows why batching matters.
+  std::int64_t step_tmp_width = 0;
+  if (schedule_.fusion == ra::FusionLevel::kNone)
+    for (const auto& [reg, w] : def_.cell.register_widths())
+      step_tmp_width += w;
+  std::int64_t tmp_ticket = -1;
+  if (step_tmp_width > 0) tmp_ticket = ws.allocate(step_tmp_width * kF);
+
+  for (const std::int32_t id : lin.exec_order) {
+    const bool leaf = lin.is_leaf(id);
+    const auto& step = leaf ? plan_.leaf_step : plan_.internal_step;
+    for (const KernelTemplate& t : step) {
+      runtime::KernelDesc k;
+      k.flops = t.flops_per_node;
+      k.bytes_read = t.bytes_read_per_node;
+      k.bytes_weights = t.weight_bytes;
+      k.bytes_written = t.bytes_written_per_node;
+      k.parallelism = std::max<std::int64_t>(t.width, 1);
+      device.launch(k);
+    }
+  }
+  if (tmp_ticket >= 0) ws.release(tmp_ticket);
+}
+
+runtime::RunResult CortexEngine::run_linearized(
+    const linearizer::Linearized& lin, double linearization_ns) {
+  runtime::Device device(spec_);
+  Workspace ws;
+  device.profiler().linearization_ns = linearization_ns;
+
+  const std::int64_t n = lin.num_nodes;
+  const std::int64_t sw = def_.cell.state_width;
+  ws.allocate(linearized_bytes(lin));
+  states_ = Tensor::zeros(Shape{n, sw});
+  const std::int64_t state_ticket = ws.allocate(n * sw * kF);
+  (void)state_ticket;  // live for the whole inference
+
+  run_numerics(lin);
+
+  if (plan_.dynamic_batching)
+    account_batched(lin, device, ws);
+  else
+    account_unbatched(lin, device, ws);
+
+  runtime::RunResult rr;
+  rr.profiler = device.profiler();
+  rr.peak_memory_bytes = ws.peak_bytes();
+  rr.root_states.reserve(lin.roots.size());
+  for (const std::int32_t r : lin.roots) {
+    const float* row = states_.row(r);
+    rr.root_states.emplace_back(row, row + sw);
+  }
+  return rr;
+}
+
+}  // namespace cortex::exec

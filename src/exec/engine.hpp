@@ -1,0 +1,83 @@
+#pragma once
+// CortexEngine: the end-to-end execution engine for Cortex-compiled models.
+//
+// Compilation happens at construction: the RA model is verified (P.1-P.3),
+// the schedule validated, the model lowered to ILIR (kept for inspection,
+// golden tests and the reference evaluator), and the kernel-launch plan
+// built (plan.hpp). At run time the engine:
+//   1. linearizes the input structures on the host CPU (§4.2, timed),
+//   2. executes the model numerics bottom-up over the linearized arrays
+//      (the exact semantics every baseline shares, so outputs are
+//      bit-comparable across frameworks),
+//   3. accounts device cost on the virtual device model: kernel launches,
+//      off-chip traffic, barriers, per DESIGN.md §2's GPU substitution.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/plan.hpp"
+#include "lowering/lower.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/device.hpp"
+#include "runtime/result.hpp"
+#include "tensor/workspace.hpp"
+
+namespace cortex::exec {
+
+class CortexEngine {
+ public:
+  /// Compiles `def` under `schedule` for the device `spec`. Throws
+  /// cortex::Error on P.1-P.3 violations or illegal schedules. The model
+  /// definition and parameters must outlive the engine.
+  CortexEngine(const models::ModelDef& def, const models::ModelParams& params,
+               ra::Schedule schedule, runtime::DeviceSpec spec);
+
+  /// Runs inference over a mini-batch of trees (linearizes first).
+  runtime::RunResult run(const std::vector<const ds::Tree*>& trees);
+  runtime::RunResult run(const std::vector<std::unique_ptr<ds::Tree>>& trees);
+  /// Runs inference over a mini-batch of DAGs.
+  runtime::RunResult run(const std::vector<const ds::Dag*>& dags);
+
+  /// Runs over an already-linearized structure; `linearization_ns` is the
+  /// host time the caller spent linearizing (0 when amortized/cached).
+  runtime::RunResult run_linearized(const linearizer::Linearized& lin,
+                                    double linearization_ns);
+
+  const Plan& plan() const { return plan_; }
+  const ra::Schedule& schedule() const { return schedule_; }
+  /// Lowered ILIR artifacts; nullptr for cell-only models (no RA def).
+  const lowering::LoweredModel* lowered() const {
+    return lowered_ ? &*lowered_ : nullptr;
+  }
+  /// The ILIR after the schedule's optimization passes: operator fusion +
+  /// store forwarding + dead-store elimination (maximal fusion), dense
+  /// indexing of scratch intermediates (§5.1), loop peeling (§A.5) and
+  /// barrier insertion (§A.4). This is the program codegen_c renders as
+  /// the target kernel; tests hold it to the reference evaluator and to
+  /// the engine's own barrier accounting. Null for cell-only models.
+  const ilir::Program* optimized_program() const {
+    return optimized_ ? &*optimized_ : nullptr;
+  }
+  /// All node states (N, state_width) from the most recent run.
+  const Tensor& last_states() const { return states_; }
+
+ private:
+  void run_numerics(const linearizer::Linearized& lin);
+  void account_batched(const linearizer::Linearized& lin,
+                       runtime::Device& device, Workspace& ws);
+  void account_unbatched(const linearizer::Linearized& lin,
+                         runtime::Device& device, Workspace& ws);
+
+  const models::ModelDef& def_;
+  const models::ModelParams& params_;
+  ra::Schedule schedule_;
+  runtime::DeviceSpec spec_;
+  Plan plan_;
+  std::optional<lowering::LoweredModel> lowered_;
+  std::optional<ilir::Program> optimized_;
+  models::CellExecutor cell_exec_;
+  Tensor states_;
+};
+
+}  // namespace cortex::exec

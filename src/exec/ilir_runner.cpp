@@ -1,0 +1,93 @@
+#include "exec/ilir_runner.hpp"
+
+#include <algorithm>
+
+namespace cortex::exec {
+
+namespace {
+
+/// Constant-evaluates a shape extent against the runtime scalars the
+/// linearizer defines (N, num_leaves, max_batch_size, ...).
+std::int64_t eval_extent(const ra::Expr& e,
+                         const std::map<std::string, std::int64_t>& scalars) {
+  switch (e->kind) {
+    case ra::ExprKind::kIntImm:
+      return e->iimm;
+    case ra::ExprKind::kVar: {
+      auto it = scalars.find(e->name);
+      CORTEX_CHECK(it != scalars.end())
+          << "buffer extent references unknown runtime scalar " << e->name;
+      return it->second;
+    }
+    case ra::ExprKind::kBinary: {
+      const std::int64_t a = eval_extent(e->args[0], scalars);
+      const std::int64_t b = eval_extent(e->args[1], scalars);
+      switch (e->bin) {
+        case ra::BinOp::kAdd: return a + b;
+        case ra::BinOp::kSub: return a - b;
+        case ra::BinOp::kMul: return a * b;
+        case ra::BinOp::kDiv: return a / b;
+        case ra::BinOp::kMax: return std::max(a, b);
+        case ra::BinOp::kMin: return std::min(a, b);
+        default: break;
+      }
+      CORTEX_CHECK(false) << "unsupported extent operator";
+      return 0;
+    }
+    default:
+      CORTEX_CHECK(false) << "unsupported extent expression "
+                          << ra::to_string(e);
+      return 0;
+  }
+}
+
+}  // namespace
+
+const Tensor& IlirRun::at(const std::string& name) const {
+  auto it = buffers.find(name);
+  CORTEX_CHECK(it != buffers.end()) << "no buffer '" << name << "' in run";
+  return it->second;
+}
+
+IlirRun run_ilir(const ilir::Program& program,
+                 const linearizer::Linearized& lin,
+                 const models::ModelParams& params) {
+  std::map<std::string, std::int64_t> scalars;
+  scalars["N"] = lin.num_nodes;
+  scalars["num_leaves"] = lin.num_leaves;
+  scalars["first_leaf_id"] = lin.first_leaf_id;
+  scalars["num_batches"] = lin.num_batches();
+  scalars["num_internal_batches"] = lin.num_batches() - 1;
+  std::int64_t max_batch = 0;
+  for (std::int32_t len : lin.batch_length)
+    max_batch = std::max<std::int64_t>(max_batch, len);
+  scalars["max_batch_size"] = max_batch;
+
+  IlirRun run;
+  ilir::Evaluator ev(program, lin);
+  ev.bind_structure();
+
+  for (const ilir::Buffer& b : program.buffers) {
+    auto pit = params.tensors.find(b.name);
+    if (pit != params.tensors.end()) {
+      // Model parameter: bind the user's tensor (const in spirit; the
+      // evaluator never stores to input buffers of a lowered model).
+      ev.bind(b.name,
+              ilir::Binding::tensor(const_cast<Tensor&>(pit->second)));
+      continue;
+    }
+    std::vector<std::int64_t> dims;
+    dims.reserve(b.shape.size());
+    for (const ra::Expr& e : b.shape) dims.push_back(eval_extent(e, scalars));
+    Tensor t = Tensor::zeros(Shape(dims));
+    auto [it, inserted] = run.buffers.emplace(b.name, std::move(t));
+    CORTEX_CHECK(inserted) << "duplicate buffer " << b.name;
+    ev.bind(b.name, ilir::Binding::tensor(it->second));
+  }
+
+  ev.run();
+  run.barriers = ev.barriers_executed();
+  return run;
+}
+
+}  // namespace cortex::exec

@@ -1,0 +1,38 @@
+#pragma once
+// Reference execution of lowered ILIR programs: allocates every program
+// buffer (resolving symbolic extents against a linearized structure),
+// binds model parameters and the linearizer arrays, and interprets the
+// program with the ILIR evaluator. This is the semantic ground truth the
+// execution engine and all scheduling transformations are validated
+// against in tests, and what the examples use to show the pipeline end
+// to end.
+
+#include <map>
+#include <string>
+
+#include "ilir/eval.hpp"
+#include "ilir/ilir.hpp"
+#include "linearizer/linearizer.hpp"
+#include "models/cell.hpp"
+
+namespace cortex::exec {
+
+struct IlirRun {
+  /// Every non-parameter buffer allocated for the run, keyed by name;
+  /// includes the recursion output.
+  std::map<std::string, Tensor> buffers;
+  /// Barriers executed by the evaluator (validates §A.4 placement).
+  std::int64_t barriers = 0;
+
+  const Tensor& at(const std::string& name) const;
+};
+
+/// Interprets `program` against `lin`, binding parameter buffers from
+/// `params` by name and allocating (zeroed) tensors for everything else.
+/// Symbolic buffer extents (N, max_batch_size, ...) resolve against the
+/// linearized structure.
+IlirRun run_ilir(const ilir::Program& program,
+                 const linearizer::Linearized& lin,
+                 const models::ModelParams& params);
+
+}  // namespace cortex::exec

@@ -1,0 +1,132 @@
+#include "ilir/bounds.hpp"
+
+#include <map>
+
+namespace cortex::ilir {
+
+void infer_bounds(Program& program) {
+  std::map<std::string, Expr> extents;
+  for (const auto& [dim, extent] : program.dim_extents)
+    extents.emplace(dim, extent);
+  for (Buffer& b : program.buffers) {
+    if (!b.shape.empty()) continue;
+    CORTEX_CHECK(!b.dims.empty())
+        << "buffer " << b.name << " has neither shape nor named dims";
+    for (const std::string& d : b.dims) {
+      auto it = extents.find(d);
+      CORTEX_CHECK(it != extents.end())
+          << "buffer " << b.name << " uses unregistered dimension '" << d
+          << "'";
+      b.shape.push_back(it->second);
+    }
+  }
+}
+
+namespace {
+
+/// Collects the dimension annotation of each loop/let variable in scope.
+void check_rec(const Program& p, const Stmt& s,
+               std::map<std::string, std::string>& var_dims) {
+  if (!s) return;
+  // A variable of dimension `vd` may index buffer dimension `bd` when the
+  // names match, or when both extents are compile-time constants and the
+  // variable's range fits inside the buffer's (subrange access: e.g. a
+  // per-gate d_w256 loop reading the h-half of a 512-wide [h;c] state).
+  // Cross-space symbolic mismatches (§A.2's "indexing rnn by b_idx")
+  // stay rejected.
+  auto dims_compatible = [&](const std::string& vd, const std::string& bd) {
+    if (vd == bd) return true;
+    const Expr* ve = nullptr;
+    const Expr* be = nullptr;
+    for (const auto& [name, extent] : p.dim_extents) {
+      if (name == vd) ve = &extent;
+      if (name == bd) be = &extent;
+    }
+    if (ve == nullptr || be == nullptr) return false;
+    if ((*ve)->kind != ra::ExprKind::kIntImm ||
+        (*be)->kind != ra::ExprKind::kIntImm)
+      return false;
+    return (*ve)->iimm <= (*be)->iimm;
+  };
+  auto check_indices = [&](const std::string& buffer,
+                           const std::vector<Expr>& indices) {
+    const Buffer* b = p.find_buffer(buffer);
+    if (b == nullptr || b->dims.empty()) return;
+    CORTEX_CHECK(indices.size() == b->dims.size())
+        << "buffer " << buffer << " indexed with " << indices.size()
+        << " indices but has " << b->dims.size() << " named dimensions";
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const Expr& idx = indices[k];
+      if (idx->kind != ra::ExprKind::kVar) continue;  // only direct vars
+      auto it = var_dims.find(idx->name);
+      if (it == var_dims.end() || it->second.empty()) continue;
+      CORTEX_CHECK(dims_compatible(it->second, b->dims[k]))
+          << "dimension mismatch: buffer '" << buffer << "' dimension " << k
+          << " is '" << b->dims[k] << "' but is indexed by variable '"
+          << idx->name << "' of dimension '" << it->second << "'";
+    }
+  };
+
+  // Check loads appearing in any expression of this statement.
+  auto check_expr_loads = [&](const Expr& e) {
+    if (!e) return;
+    std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x->kind == ra::ExprKind::kLoad) check_indices(x->name, x->args);
+      for (const Expr& a : x->args) walk(a);
+    };
+    walk(e);
+  };
+
+  switch (s->kind) {
+    case StmtKind::kFor: {
+      check_expr_loads(s->min);
+      check_expr_loads(s->extent);
+      const bool had = var_dims.count(s->var) > 0;
+      const std::string prev = had ? var_dims[s->var] : "";
+      var_dims[s->var] = s->dim;
+      check_rec(p, s->body, var_dims);
+      if (had)
+        var_dims[s->var] = prev;
+      else
+        var_dims.erase(s->var);
+      break;
+    }
+    case StmtKind::kLet: {
+      check_expr_loads(s->value);
+      const bool had = var_dims.count(s->var) > 0;
+      const std::string prev = had ? var_dims[s->var] : "";
+      var_dims[s->var] = s->dim;
+      check_rec(p, s->body, var_dims);
+      if (had)
+        var_dims[s->var] = prev;
+      else
+        var_dims.erase(s->var);
+      break;
+    }
+    case StmtKind::kStore:
+      check_indices(s->buffer, s->indices);
+      check_expr_loads(s->value);
+      for (const Expr& e : s->indices) check_expr_loads(e);
+      break;
+    case StmtKind::kSeq:
+      for (const Stmt& t : s->stmts) check_rec(p, t, var_dims);
+      break;
+    case StmtKind::kIf:
+      check_expr_loads(s->cond);
+      check_rec(p, s->then_s, var_dims);
+      check_rec(p, s->else_s, var_dims);
+      break;
+    case StmtKind::kBarrier:
+    case StmtKind::kComment:
+      break;
+  }
+}
+
+}  // namespace
+
+void check_named_dims(const Program& program) {
+  std::map<std::string, std::string> var_dims;
+  check_rec(program, program.body, var_dims);
+}
+
+}  // namespace cortex::ilir

@@ -1,0 +1,29 @@
+#pragma once
+// Bounds inference with named dimensions (§5.1, §A.2).
+//
+// In a classical tensor compiler there is a one-to-one mapping between a
+// tensor's dimensions and the loops of its producing nest, so loop bounds
+// follow directly from consumer regions. In the ILIR that mapping is
+// explicit: buffers carry named dimensions ("d_node", "d_hidden"), loops
+// and let-bound indices carry the dimension they range over, and the
+// Program registers an extent for every dimension. Bounds inference then
+//   (1) fills in unknown buffer shapes from the dimension registry, and
+//   (2) checks that direct variable indexing is dimension-correct (it
+//       "does not make sense to index rnn by b_idx" — §A.2).
+
+#include "ilir/ilir.hpp"
+
+namespace cortex::ilir {
+
+/// Fills empty buffer shapes from the program's dim_extents registry.
+/// Throws cortex::Error if a buffer references an unregistered dimension.
+void infer_bounds(Program& program);
+
+/// Checks dimension-correct indexing: wherever a Store or Load indexes a
+/// dimension with a *plain variable*, the variable's annotated dimension
+/// must match the buffer's (indirect accesses through uninterpreted
+/// functions are exempt — they are exactly the non-affine accesses §5.1
+/// allows). Throws cortex::Error on the first violation.
+void check_named_dims(const Program& program);
+
+}  // namespace cortex::ilir

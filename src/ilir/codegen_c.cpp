@@ -1,0 +1,249 @@
+#include "ilir/codegen_c.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace cortex::ilir {
+
+namespace {
+
+void emit_expr(const Expr& e, std::ostringstream& os) {
+  using ra::ExprKind;
+  switch (e->kind) {
+    case ExprKind::kFloatImm:
+      os << e->fimm << "f";
+      break;
+    case ExprKind::kIntImm:
+      os << e->iimm;
+      break;
+    case ExprKind::kVar:
+      os << e->name;
+      break;
+    case ExprKind::kBinary: {
+      const char* op = "?";
+      switch (e->bin) {
+        case ra::BinOp::kAdd: op = "+"; break;
+        case ra::BinOp::kSub: op = "-"; break;
+        case ra::BinOp::kMul: op = "*"; break;
+        case ra::BinOp::kDiv: op = "/"; break;
+        case ra::BinOp::kLt: op = "<"; break;
+        case ra::BinOp::kGe: op = ">="; break;
+        case ra::BinOp::kEq: op = "=="; break;
+        case ra::BinOp::kMax:
+          os << "std::max(";
+          emit_expr(e->args[0], os);
+          os << ", ";
+          emit_expr(e->args[1], os);
+          os << ")";
+          return;
+        case ra::BinOp::kMin:
+          os << "std::min(";
+          emit_expr(e->args[0], os);
+          os << ", ";
+          emit_expr(e->args[1], os);
+          os << ")";
+          return;
+      }
+      os << "(";
+      emit_expr(e->args[0], os);
+      os << " " << op << " ";
+      emit_expr(e->args[1], os);
+      os << ")";
+      break;
+    }
+    case ExprKind::kCall: {
+      const char* fn = "?";
+      switch (e->fn) {
+        case ra::CallFn::kTanh: fn = "tanh_rational"; break;
+        case ra::CallFn::kSigmoid: fn = "sigmoid_rational"; break;
+        case ra::CallFn::kRelu: fn = "relu"; break;
+        case ra::CallFn::kExp: fn = "expf"; break;
+      }
+      os << fn << "(";
+      emit_expr(e->args[0], os);
+      os << ")";
+      break;
+    }
+    case ExprKind::kLoad:
+      os << e->name;
+      for (const Expr& ix : e->args) {
+        os << "[";
+        emit_expr(ix, os);
+        os << "]";
+      }
+      break;
+    case ExprKind::kSum:
+      // Reductions are emitted as statement-level loops by the store
+      // emitter; inline sums render as a comment-bearing lambda form.
+      os << "/*sum over " << e->name << "*/";
+      break;
+    case ExprKind::kChild: {
+      const Expr& k = e->args[1];
+      if (k->kind == ExprKind::kIntImm && k->iimm == 0) {
+        os << "left[";
+        emit_expr(e->args[0], os);
+        os << "]";
+      } else if (k->kind == ExprKind::kIntImm && k->iimm == 1) {
+        os << "right[";
+        emit_expr(e->args[0], os);
+        os << "]";
+      } else {
+        os << "child_ids[child_offsets[";
+        emit_expr(e->args[0], os);
+        os << "] + ";
+        emit_expr(k, os);
+        os << "]";
+      }
+      break;
+    }
+    case ExprKind::kWordOf:
+      os << "words[";
+      emit_expr(e->args[0], os);
+      os << "]";
+      break;
+    case ExprKind::kNumChildren:
+      os << "(child_offsets[";
+      emit_expr(e->args[0], os);
+      os << " + 1] - child_offsets[";
+      emit_expr(e->args[0], os);
+      os << "])";
+      break;
+    case ExprKind::kIsLeaf:
+      // Appendix-B numbering: a leaf check is one comparison.
+      os << "(";
+      emit_expr(e->args[0], os);
+      os << " >= first_leaf_id)";
+      break;
+    case ExprKind::kSelect:
+      os << "(";
+      emit_expr(e->args[0], os);
+      os << " ? ";
+      emit_expr(e->args[1], os);
+      os << " : ";
+      emit_expr(e->args[2], os);
+      os << ")";
+      break;
+  }
+}
+
+/// Emits `lhs = value;` expanding any top-level Sum reduction into an
+/// accumulation loop.
+void emit_store(const StmtNode& st, std::ostringstream& os,
+                const std::string& pad) {
+  std::ostringstream lhs;
+  lhs << st.buffer;
+  for (const Expr& ix : st.indices) {
+    lhs << "[";
+    emit_expr(ix, lhs);
+    lhs << "]";
+  }
+  if (st.value->kind == ra::ExprKind::kSum) {
+    const Expr& extent = st.value->args[0];
+    const Expr& body = st.value->args[1];
+    os << pad << "float acc = 0.0f;\n";
+    os << pad << "for (int " << st.value->name << " = 0; "
+       << st.value->name << " < ";
+    emit_expr(extent, os);
+    os << "; ++" << st.value->name << ") acc += ";
+    emit_expr(body, os);
+    os << ";\n";
+    os << pad << lhs.str() << " = acc;\n";
+    return;
+  }
+  os << pad << lhs.str() << " = ";
+  emit_expr(st.value, os);
+  os << ";\n";
+}
+
+void emit_stmt(const Stmt& s, std::ostringstream& os, int ind) {
+  const std::string pad(static_cast<std::size_t>(ind) * 2, ' ');
+  switch (s->kind) {
+    case StmtKind::kFor: {
+      if (s->fkind == ForKind::kUnrolled)
+        os << pad << "#pragma unroll\n";
+      if (s->fkind == ForKind::kVectorized)
+        os << pad << "#pragma omp simd\n";
+      if (s->fkind == ForKind::kParallel)
+        os << pad << "// parallel across device lanes\n";
+      os << pad << "for (int " << s->var << " = ";
+      emit_expr(s->min, os);
+      os << "; " << s->var << " < ";
+      if (s->min->kind == ra::ExprKind::kIntImm && s->min->iimm == 0) {
+        emit_expr(s->extent, os);
+      } else {
+        emit_expr(s->min, os);
+        os << " + ";
+        emit_expr(s->extent, os);
+      }
+      os << "; ++" << s->var << ") {\n";
+      emit_stmt(s->body, os, ind + 1);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::kLet:
+      os << pad << "const int " << s->var << " = ";
+      emit_expr(s->value, os);
+      os << ";\n";
+      emit_stmt(s->body, os, ind);
+      break;
+    case StmtKind::kStore:
+      emit_store(*s, os, pad);
+      break;
+    case StmtKind::kSeq:
+      for (const Stmt& t : s->stmts) emit_stmt(t, os, ind);
+      break;
+    case StmtKind::kIf:
+      os << pad << "if (";
+      emit_expr(s->cond, os);
+      os << ") {\n";
+      emit_stmt(s->then_s, os, ind + 1);
+      if (s->else_s) {
+        os << pad << "} else {\n";
+        emit_stmt(s->else_s, os, ind + 1);
+      }
+      os << pad << "}\n";
+      break;
+    case StmtKind::kBarrier:
+      os << pad << "global_barrier();\n";
+      break;
+    case StmtKind::kComment:
+      os << pad << "// " << s->text << "\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string codegen_c(const Program& p) {
+  // Model names may contain characters illegal in C identifiers
+  // ("TreeRNN-fig1", "MV-RNN"); sanitize for the emitted function name.
+  std::string fn = p.name.empty() ? std::string("cortex_kernel") : p.name;
+  for (char& c : fn)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) c = '_';
+  if (std::isdigit(static_cast<unsigned char>(fn.front()))) fn.insert(0, "_");
+
+  std::ostringstream os;
+  os << "// generated by cortex ILIR codegen\n";
+  os << "void " << fn << "(/* linearized structure + tensors */) {\n";
+  for (const Buffer& b : p.buffers) {
+    os << "  // " << b.name << "(";
+    for (std::size_t i = 0; i < b.shape.size(); ++i) {
+      if (i) os << ",";
+      std::ostringstream tmp;
+      emit_expr(b.shape[i], tmp);
+      os << tmp.str();
+    }
+    os << ") ";
+    switch (b.scope) {
+      case MemScope::kGlobal: os << "[global memory]"; break;
+      case MemScope::kShared: os << "[scratchpad/shared memory]"; break;
+      case MemScope::kRegister: os << "[registers, persistent]"; break;
+    }
+    os << "\n";
+  }
+  emit_stmt(p.body, os, 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cortex::ilir

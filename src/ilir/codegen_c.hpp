@@ -1,0 +1,20 @@
+#pragma once
+// C++ source generator: renders an ILIR Program as compilable-looking
+// C++ (the "generated target code" of Fig. 2, stage 4). Used by golden
+// tests and the examples to show what the compiler emits; execution in
+// this repo goes through the evaluator (reference) and the execution
+// engine (performance).
+
+#include <string>
+
+#include "ilir/ilir.hpp"
+
+namespace cortex::ilir {
+
+/// Renders the program as a C++ function
+///   void <name>(/* buffer params */) { ... }
+/// Shared-scope buffers become local arrays annotated as scratchpad;
+/// barriers become global_barrier() calls.
+std::string codegen_c(const Program& program);
+
+}  // namespace cortex::ilir

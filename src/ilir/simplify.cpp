@@ -1,0 +1,200 @@
+#include "ilir/simplify.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cortex::ilir {
+
+using ra::BinOp;
+using ra::Expr;
+using ra::ExprKind;
+
+Interval Interval::everything() {
+  return {std::numeric_limits<std::int64_t>::min() / 4,
+          std::numeric_limits<std::int64_t>::max() / 4};
+}
+Interval Interval::point(std::int64_t v) { return {v, v}; }
+Interval Interval::range(std::int64_t lo, std::int64_t hi) {
+  return {lo, hi};
+}
+
+namespace {
+
+bool is_const_int(const Expr& e, std::int64_t v) {
+  return e->kind == ExprKind::kIntImm && e->iimm == v;
+}
+bool is_const_float(const Expr& e, double v) {
+  return e->kind == ExprKind::kFloatImm && e->fimm == v;
+}
+bool is_zero(const Expr& e) {
+  return is_const_int(e, 0) || is_const_float(e, 0.0);
+}
+bool is_one(const Expr& e) {
+  return is_const_int(e, 1) || is_const_float(e, 1.0);
+}
+
+Expr fold_binary(BinOp op, const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kIntImm && b->kind == ExprKind::kIntImm) {
+    const std::int64_t x = a->iimm, y = b->iimm;
+    switch (op) {
+      case BinOp::kAdd: return ra::imm(x + y);
+      case BinOp::kSub: return ra::imm(x - y);
+      case BinOp::kMul: return ra::imm(x * y);
+      case BinOp::kDiv: return y != 0 ? ra::imm(x / y) : nullptr;
+      case BinOp::kMax: return ra::imm(std::max(x, y));
+      case BinOp::kMin: return ra::imm(std::min(x, y));
+      case BinOp::kLt: return ra::imm(x < y ? 1 : 0);
+      case BinOp::kGe: return ra::imm(x >= y ? 1 : 0);
+      case BinOp::kEq: return ra::imm(x == y ? 1 : 0);
+    }
+  }
+  if (a->kind == ExprKind::kFloatImm && b->kind == ExprKind::kFloatImm) {
+    const double x = a->fimm, y = b->fimm;
+    switch (op) {
+      case BinOp::kAdd: return ra::fimm(x + y);
+      case BinOp::kSub: return ra::fimm(x - y);
+      case BinOp::kMul: return ra::fimm(x * y);
+      case BinOp::kDiv: return y != 0.0 ? ra::fimm(x / y) : nullptr;
+      case BinOp::kMax: return ra::fimm(std::max(x, y));
+      case BinOp::kMin: return ra::fimm(std::min(x, y));
+      default: return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Expr simplify(const Expr& e) {
+  CORTEX_CHECK(e != nullptr) << "simplify(null)";
+  // Simplify children first.
+  bool changed = false;
+  std::vector<Expr> args;
+  args.reserve(e->args.size());
+  for (const Expr& a : e->args) {
+    Expr s = simplify(a);
+    changed = changed || (s != a);
+    args.push_back(std::move(s));
+  }
+  Expr base = e;
+  if (changed) {
+    ra::ExprNode n = *e;
+    n.args = args;
+    base = std::make_shared<const ra::ExprNode>(std::move(n));
+  }
+
+  switch (base->kind) {
+    case ExprKind::kBinary: {
+      const Expr& a = base->args[0];
+      const Expr& b = base->args[1];
+      if (Expr folded = fold_binary(base->bin, a, b)) return folded;
+      switch (base->bin) {
+        case BinOp::kAdd:
+          if (is_zero(a)) return b;
+          if (is_zero(b)) return a;
+          break;
+        case BinOp::kSub:
+          if (is_zero(b)) return a;
+          if (ra::struct_equal(a, b))
+            return a->dtype == ra::DType::kInt ? ra::imm(0) : ra::fimm(0.0);
+          break;
+        case BinOp::kMul:
+          if (is_zero(a)) return a;
+          if (is_zero(b)) return b;
+          if (is_one(a)) return b;
+          if (is_one(b)) return a;
+          break;
+        case BinOp::kDiv:
+          if (is_one(b)) return a;
+          break;
+        case BinOp::kMax:
+        case BinOp::kMin:
+          if (ra::struct_equal(a, b)) return a;
+          break;
+        default:
+          break;
+      }
+      return base;
+    }
+    case ExprKind::kSelect: {
+      const Expr& c = base->args[0];
+      if (c->kind == ExprKind::kIntImm)
+        return c->iimm != 0 ? base->args[1] : base->args[2];
+      if (ra::struct_equal(base->args[1], base->args[2]))
+        return base->args[1];
+      return base;
+    }
+    case ExprKind::kSum: {
+      // sum over zero extent is 0; sum of 0 is 0.
+      if (is_const_int(base->args[0], 0)) return ra::fimm(0.0);
+      if (is_zero(base->args[1])) return ra::fimm(0.0);
+      return base;
+    }
+    default:
+      return base;
+  }
+}
+
+std::optional<Interval> bound_of(const Expr& e, const VarRanges& ranges) {
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      return Interval::point(e->iimm);
+    case ExprKind::kVar: {
+      auto it = ranges.find(e->name);
+      if (it == ranges.end()) return std::nullopt;
+      return it->second;
+    }
+    case ExprKind::kBinary: {
+      auto a = bound_of(e->args[0], ranges);
+      auto b = bound_of(e->args[1], ranges);
+      if (!a || !b) return std::nullopt;
+      switch (e->bin) {
+        case BinOp::kAdd:
+          return Interval{a->lo + b->lo, a->hi + b->hi};
+        case BinOp::kSub:
+          return Interval{a->lo - b->hi, a->hi - b->lo};
+        case BinOp::kMul: {
+          const std::int64_t c[4] = {a->lo * b->lo, a->lo * b->hi,
+                                     a->hi * b->lo, a->hi * b->hi};
+          return Interval{*std::min_element(c, c + 4),
+                          *std::max_element(c, c + 4)};
+        }
+        case BinOp::kMax:
+          return Interval{std::max(a->lo, b->lo), std::max(a->hi, b->hi)};
+        case BinOp::kMin:
+          return Interval{std::min(a->lo, b->lo), std::min(a->hi, b->hi)};
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::kSelect: {
+      auto t = bound_of(e->args[1], ranges);
+      auto f = bound_of(e->args[2], ranges);
+      if (!t || !f) return std::nullopt;
+      return Interval{std::min(t->lo, f->lo), std::max(t->hi, f->hi)};
+    }
+    default:
+      // Uninterpreted functions (child/word/...) and loads: unknown.
+      return std::nullopt;
+  }
+}
+
+bool can_prove_lt(const Expr& a, const Expr& b, const VarRanges& ranges) {
+  // a < b iff max(a) < min(b); try the difference form too, which handles
+  // shared terms like (x + c) < (x + d).
+  const Expr diff = simplify(ra::sub(b, a));
+  if (auto d = bound_of(diff, ranges); d && d->lo >= 1) return true;
+  auto ba = bound_of(a, ranges);
+  auto bb = bound_of(b, ranges);
+  return ba && bb && ba->hi < bb->lo;
+}
+
+bool can_prove_ge(const Expr& a, const Expr& b, const VarRanges& ranges) {
+  const Expr diff = simplify(ra::sub(a, b));
+  if (auto d = bound_of(diff, ranges); d && d->lo >= 0) return true;
+  auto ba = bound_of(a, ranges);
+  auto bb = bound_of(b, ranges);
+  return ba && bb && ba->lo >= bb->hi;
+}
+
+}  // namespace cortex::ilir

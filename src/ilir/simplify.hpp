@@ -1,0 +1,47 @@
+#pragma once
+// Symbolic simplification and light-weight proving over index expressions
+// with uninterpreted functions — the role Z3 plays in the paper (§A.1):
+// discharging redundant bounds checks introduced by splitting variable-
+// bound loops (loop peeling, §A.5) and folding trivial algebra produced by
+// lowering. We implement (a) algebraic rewriting with constant folding and
+// (b) an interval-arithmetic prover over declared variable ranges.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ra/expr.hpp"
+
+namespace cortex::ilir {
+
+/// Inclusive integer interval; unbounded ends use min/max int64.
+struct Interval {
+  std::int64_t lo;
+  std::int64_t hi;
+  static Interval everything();
+  static Interval point(std::int64_t v);
+  static Interval range(std::int64_t lo, std::int64_t hi);
+};
+
+/// Known ranges of free variables ("n_idx in [0, 4)") used when proving.
+using VarRanges = std::map<std::string, Interval>;
+
+/// Algebraic simplification: constant folding, x+0, x*1, x*0, select with
+/// constant condition, min/max of equal operands. Idempotent.
+ra::Expr simplify(const ra::Expr& e);
+
+/// Interval evaluation of an integer expression under variable ranges.
+/// Returns nullopt when the expression involves uninterpreted functions or
+/// unbounded variables that prevent any bound.
+std::optional<Interval> bound_of(const ra::Expr& e, const VarRanges& ranges);
+
+/// Attempts to prove a < b under the given ranges. False means "cannot
+/// prove", not "disproved".
+bool can_prove_lt(const ra::Expr& a, const ra::Expr& b,
+                  const VarRanges& ranges);
+
+/// Attempts to prove a >= b under the given ranges.
+bool can_prove_ge(const ra::Expr& a, const ra::Expr& b,
+                  const VarRanges& ranges);
+
+}  // namespace cortex::ilir

@@ -1,0 +1,26 @@
+#include "lowering/hoist.hpp"
+
+#include "lowering/lower.hpp"
+
+namespace cortex::lowering {
+
+LeafHoist classify_leaf_hoist(const ra::Model& model) {
+  const ra::OpRef body = model.recursion->recursion_body;
+  if (body->tag != ra::OpTag::kIfThenElse) return LeafHoist::kNone;
+  const ra::OpRef leaf = body->then_op;
+  if (leaf->tag != ra::OpTag::kCompute || !leaf->body)
+    return LeafHoist::kNone;
+  // Hoisting requires the whole branch to be a single node-independent op:
+  // a chain would re-introduce per-node temporaries.
+  bool chain_is_single = true;
+  for (const ra::OpRef& in : leaf->inputs)
+    if (in->tag == ra::OpTag::kCompute) chain_is_single = false;
+  if (!chain_is_single) return LeafHoist::kNone;
+  if (ra::uses_var(leaf->body, "n") || ra::has_structure_access(leaf->body))
+    return LeafHoist::kNone;
+  if (leaf->body->kind == ra::ExprKind::kFloatImm && leaf->body->fimm == 0.0)
+    return LeafHoist::kZeroInit;
+  return LeafHoist::kHoisted;
+}
+
+}  // namespace cortex::lowering

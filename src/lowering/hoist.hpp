@@ -1,0 +1,18 @@
+#pragma once
+// Computation hoisting / constant propagation analysis (§4.3), factored
+// out of lowering so tests can exercise the classification directly.
+
+#include "ra/model.hpp"
+
+namespace cortex::lowering {
+
+enum class LeafHoist;  // defined in lower.hpp
+
+/// How the leaf branch of `model` can be optimized:
+///   kZeroInit — uniform zero initial value (constant propagated),
+///   kHoisted  — node-independent value (computed once, broadcast),
+///   kNone     — per-node leaf computation (e.g. embedding lookup).
+/// Models without a leaf branch classify as kNone.
+LeafHoist classify_leaf_hoist(const ra::Model& model);
+
+}  // namespace cortex::lowering

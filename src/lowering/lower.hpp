@@ -1,0 +1,53 @@
+#pragma once
+// RA lowering (§4.1): lowers the recursive RA computation to the loop-based
+// ILIR according to the schedule:
+//   - temporary tensors are made explicit (one buffer per operator; the
+//     final operator of each branch stores directly into the recursion
+//     result, as in Listing 2),
+//   - with dynamic batching, loop nests iterate over linearizer batches;
+//     without, over the per-node topological execution order,
+//   - with leaf specialization, two versions of the computation are
+//     emitted (separate leaf/internal nests); without, a conditional
+//     operator (§5.2) guards the branches per node,
+//   - computation hoisting and constant propagation (§4.3) pull
+//     node-independent leaf work out of the recursion,
+//   - the matching LinearizerSpec is produced (the data-structure
+//     linearizer is "generated" by lowering, §4.2).
+
+#include <string>
+#include <vector>
+
+#include "ilir/ilir.hpp"
+#include "linearizer/linearizer.hpp"
+#include "ra/model.hpp"
+#include "ra/schedule.hpp"
+
+namespace cortex::lowering {
+
+/// What happened to the leaf branch during hoisting (§4.3).
+enum class LeafHoist {
+  kNone,        ///< leaf computation depends on the node (e.g. embedding)
+  kHoisted,     ///< node-independent: computed once, broadcast to leaves
+  kZeroInit,    ///< uniform zero: constant-propagated (memset at runtime)
+};
+
+/// Result of lowering a model.
+struct LoweredModel {
+  ilir::Program program;
+  linearizer::LinearizerSpec lin_spec;
+  /// Name of the buffer holding the recursion result (the placeholder).
+  std::string output;
+  LeafHoist leaf_hoist = LeafHoist::kNone;
+  /// Per-node operator buffers materialized by lowering, in emission
+  /// order (fusion + DCE may later remove some).
+  std::vector<std::string> temporaries;
+};
+
+/// Lowers `model` under `schedule`. Verifies P.1–P.3 and the schedule
+/// first; throws cortex::Error on violations. The returned program has
+/// bounds inferred and named dimensions checked; barrier insertion and
+/// the optimization passes of ilir/passes.hpp are left to the caller so
+/// tests and benches can apply them selectively.
+LoweredModel lower(const ra::Model& model, const ra::Schedule& schedule);
+
+}  // namespace cortex::lowering

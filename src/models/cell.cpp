@@ -1,0 +1,443 @@
+#include "models/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/activations.hpp"
+#include "tensor/kernels.hpp"
+
+namespace cortex::models {
+
+std::int64_t CellOp::flops() const {
+  switch (kind) {
+    case CellOpKind::kMatVec:
+      // 2 * m * k; k is the input width which equals param cols.
+      return 0;  // computed by callers who know input widths; see below
+    default:
+      return 0;
+  }
+}
+
+std::int64_t CellOp::param_bytes(
+    const std::map<std::string, std::int64_t>& param_elems) const {
+  if (param.empty()) return 0;
+  auto it = param_elems.find(param);
+  if (it == param_elems.end()) return 0;
+  return it->second * static_cast<std::int64_t>(sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// CompiledEltwise
+// ---------------------------------------------------------------------------
+
+CompiledEltwise::CompiledEltwise(const ra::Expr& expr) { compile(expr); }
+
+void CompiledEltwise::compile(const ra::Expr& e) {
+  using ra::ExprKind;
+  switch (e->kind) {
+    case ExprKind::kFloatImm:
+      prog_.push_back({OpCode::kPushConst, 0, static_cast<float>(e->fimm)});
+      return;
+    case ExprKind::kIntImm:
+      prog_.push_back({OpCode::kPushConst, 0, static_cast<float>(e->iimm)});
+      return;
+    case ExprKind::kVar: {
+      CORTEX_CHECK(e->name.size() >= 2 && e->name[0] == 'e')
+          << "eltwise expr may only reference inputs e0..ek, got "
+          << e->name;
+      const std::int32_t slot = std::stoi(e->name.substr(1));
+      prog_.push_back({OpCode::kPushInput, slot, 0.0f});
+      return;
+    }
+    case ExprKind::kLoad: {
+      // Param load: 1-D tensor indexed by the element variable "i".
+      CORTEX_CHECK(e->args.size() == 1 &&
+                   e->args[0]->kind == ExprKind::kVar &&
+                   e->args[0]->name == "i")
+          << "eltwise param loads must be param[i], got " << ra::to_string(e);
+      std::int32_t slot = -1;
+      for (std::size_t k = 0; k < param_names_.size(); ++k)
+        if (param_names_[k] == e->name) slot = static_cast<std::int32_t>(k);
+      if (slot < 0) {
+        slot = static_cast<std::int32_t>(param_names_.size());
+        param_names_.push_back(e->name);
+      }
+      prog_.push_back({OpCode::kPushParam, slot, 0.0f});
+      return;
+    }
+    case ExprKind::kBinary: {
+      compile(e->args[0]);
+      compile(e->args[1]);
+      ++arith_ops_;
+      switch (e->bin) {
+        case ra::BinOp::kAdd: prog_.push_back({OpCode::kAdd, 0, 0}); return;
+        case ra::BinOp::kSub: prog_.push_back({OpCode::kSub, 0, 0}); return;
+        case ra::BinOp::kMul: prog_.push_back({OpCode::kMul, 0, 0}); return;
+        case ra::BinOp::kDiv: prog_.push_back({OpCode::kDiv, 0, 0}); return;
+        case ra::BinOp::kMax: prog_.push_back({OpCode::kMax, 0, 0}); return;
+        case ra::BinOp::kMin: prog_.push_back({OpCode::kMin, 0, 0}); return;
+        default:
+          CORTEX_CHECK(false)
+              << "comparison ops unsupported in eltwise cell exprs";
+      }
+      return;
+    }
+    case ExprKind::kCall: {
+      compile(e->args[0]);
+      ++arith_ops_;
+      switch (e->fn) {
+        case ra::CallFn::kTanh:
+          prog_.push_back({OpCode::kTanh, 0, 0});
+          return;
+        case ra::CallFn::kSigmoid:
+          prog_.push_back({OpCode::kSigmoid, 0, 0});
+          return;
+        case ra::CallFn::kRelu:
+          prog_.push_back({OpCode::kRelu, 0, 0});
+          return;
+        case ra::CallFn::kExp:
+          prog_.push_back({OpCode::kExp, 0, 0});
+          return;
+      }
+      return;
+    }
+    case ExprKind::kSelect:
+      compile(e->args[0]);
+      compile(e->args[1]);
+      compile(e->args[2]);
+      ++arith_ops_;
+      prog_.push_back({OpCode::kSelect, 0, 0});
+      return;
+    default:
+      CORTEX_CHECK(false) << "unsupported eltwise expr: " << ra::to_string(e);
+  }
+}
+
+float CompiledEltwise::eval(
+    std::int64_t i, const std::vector<const float*>& ins,
+    const std::map<std::string, const float*>& params) const {
+  float stack[32];
+  int sp = 0;
+  // Resolve param pointers once per call.
+  const float* param_ptrs[8] = {nullptr};
+  for (std::size_t k = 0; k < param_names_.size(); ++k) {
+    auto it = params.find(param_names_[k]);
+    CORTEX_CHECK(it != params.end())
+        << "eltwise references unbound param " << param_names_[k];
+    param_ptrs[k] = it->second;
+  }
+  for (const Instr& ins_i : prog_) {
+    switch (ins_i.op) {
+      case OpCode::kPushInput:
+        stack[sp++] = ins[static_cast<std::size_t>(ins_i.slot)][i];
+        break;
+      case OpCode::kPushParam:
+        stack[sp++] = param_ptrs[ins_i.slot][i];
+        break;
+      case OpCode::kPushConst:
+        stack[sp++] = ins_i.constant;
+        break;
+      case OpCode::kAdd: --sp; stack[sp - 1] += stack[sp]; break;
+      case OpCode::kSub: --sp; stack[sp - 1] -= stack[sp]; break;
+      case OpCode::kMul: --sp; stack[sp - 1] *= stack[sp]; break;
+      case OpCode::kDiv: --sp; stack[sp - 1] /= stack[sp]; break;
+      case OpCode::kMax:
+        --sp;
+        stack[sp - 1] = std::max(stack[sp - 1], stack[sp]);
+        break;
+      case OpCode::kMin:
+        --sp;
+        stack[sp - 1] = std::min(stack[sp - 1], stack[sp]);
+        break;
+      case OpCode::kTanh:
+        stack[sp - 1] = kernels::tanh_rational(stack[sp - 1]);
+        break;
+      case OpCode::kSigmoid:
+        stack[sp - 1] = kernels::sigmoid_rational(stack[sp - 1]);
+        break;
+      case OpCode::kRelu:
+        stack[sp - 1] = stack[sp - 1] > 0.0f ? stack[sp - 1] : 0.0f;
+        break;
+      case OpCode::kExp:
+        stack[sp - 1] = std::exp(stack[sp - 1]);
+        break;
+      case OpCode::kSelect: {
+        sp -= 2;
+        stack[sp - 1] = stack[sp - 1] != 0.0f ? stack[sp] : stack[sp + 1];
+        break;
+      }
+    }
+  }
+  return stack[0];
+}
+
+// ---------------------------------------------------------------------------
+// CellProgram
+// ---------------------------------------------------------------------------
+
+namespace {
+std::int64_t op_flops(const CellOp& op,
+                      const std::map<std::string, std::int64_t>& widths) {
+  auto in_width = [&](std::size_t k) -> std::int64_t {
+    CORTEX_CHECK(k < op.ins.size()) << "op " << op.out << " missing input";
+    auto it = widths.find(op.ins[k]);
+    CORTEX_CHECK(it != widths.end()) << "unknown register " << op.ins[k];
+    return it->second;
+  };
+  switch (op.kind) {
+    case CellOpKind::kMatVec:
+      return 2 * op.width * in_width(0);
+    case CellOpKind::kNodeMatVec:
+      return 2 * op.width * op.width;
+    case CellOpKind::kMatStack2:
+      // (H, 2H) @ (2H, H): out width = H*H.
+      {
+        const auto h2 = op.width;  // H*H
+        const auto h = static_cast<std::int64_t>(std::llround(
+            std::sqrt(static_cast<double>(h2))));
+        return 2 * h * 2 * h * h;
+      }
+    case CellOpKind::kEltwise: {
+      CompiledEltwise ce(op.expr);
+      return ce.arith_ops() * op.width;
+    }
+    case CellOpKind::kChildSum:
+      return 2 * op.width;  // assumes binary fan-in for static accounting
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+std::int64_t cell_op_flops(const CellOp& op,
+                           const std::map<std::string, std::int64_t>& widths) {
+  return op_flops(op, widths);
+}
+
+std::vector<std::string> cell_op_params(const CellOp& op) {
+  std::vector<std::string> names;
+  if (!op.param.empty()) names.push_back(op.param);
+  if (op.kind == CellOpKind::kEltwise && op.expr)
+    for (const std::string& p : ra::collect_loads(op.expr))
+      names.push_back(p);
+  return names;
+}
+
+std::map<std::string, std::int64_t> CellProgram::register_widths() const {
+  std::map<std::string, std::int64_t> w;
+  for (const auto* ops : {&leaf_ops, &internal_ops})
+    for (const CellOp& op : *ops) {
+      auto it = w.find(op.out);
+      if (it != w.end()) {
+        CORTEX_CHECK(it->second == op.width)
+            << "register " << op.out << " redefined with width " << op.width
+            << " (was " << it->second << ")";
+      }
+      w[op.out] = op.width;
+    }
+  return w;
+}
+
+std::int64_t CellProgram::internal_flops() const {
+  const auto widths = register_widths();
+  std::int64_t f = 0;
+  for (const CellOp& op : internal_ops) f += op_flops(op, widths);
+  return f;
+}
+
+std::int64_t CellProgram::leaf_flops() const {
+  const auto widths = register_widths();
+  std::int64_t f = 0;
+  for (const CellOp& op : leaf_ops) f += op_flops(op, widths);
+  return f;
+}
+
+void CellProgram::validate() const {
+  CORTEX_CHECK(state_width > 0) << "cell has no state width";
+  CORTEX_CHECK(!internal_ops.empty()) << "cell has no internal program";
+  const auto widths = register_widths();
+  for (const auto* ops : {&leaf_ops, &internal_ops}) {
+    for (const CellOp& op : *ops)
+      for (const std::string& in : op.ins)
+        CORTEX_CHECK(widths.count(in) > 0)
+            << "op " << op.out << " reads undefined register " << in;
+    if (!ops->empty()) {
+      const CellOp& last = ops->back();
+      CORTEX_CHECK(last.width == state_width)
+          << "final cell op '" << last.out << "' must produce the state ("
+          << state_width << " wide), got " << last.width;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ModelParams
+// ---------------------------------------------------------------------------
+
+const Tensor& ModelParams::at(const std::string& name) const {
+  auto it = tensors.find(name);
+  CORTEX_CHECK(it != tensors.end()) << "missing model parameter " << name;
+  return it->second;
+}
+
+std::int64_t ModelParams::total_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& [name, t] : tensors)
+    b += t.numel() * static_cast<std::int64_t>(sizeof(float));
+  return b;
+}
+
+std::int64_t ModelParams::elems(const std::string& name) const {
+  return at(name).numel();
+}
+
+// ---------------------------------------------------------------------------
+// Native cell execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void exec_op(const CellOp& op, const CompiledEltwise* compiled,
+             const ModelParams& params,
+             const std::vector<const float*>& child_states,
+             std::int32_t word,
+             std::map<std::string, std::vector<float>>& regs,
+             float* out_state, std::int64_t state_width, bool is_last) {
+  float* out;
+  if (is_last) {
+    CORTEX_CHECK(op.width == state_width)
+        << "last op width " << op.width << " != state width " << state_width;
+    out = out_state;
+  } else {
+    auto& buf = regs[op.out];
+    buf.resize(static_cast<std::size_t>(op.width));
+    out = buf.data();
+  }
+  auto in_ptr = [&](std::size_t k) -> const float* {
+    auto it = regs.find(op.ins[k]);
+    CORTEX_CHECK(it != regs.end()) << "undefined register " << op.ins[k];
+    return it->second.data();
+  };
+  switch (op.kind) {
+    case CellOpKind::kLeafEmbed: {
+      const Tensor& table = params.at(op.param);
+      CORTEX_CHECK(word >= 0 && word < table.shape().dim(0))
+          << "word id " << word << " outside embedding table";
+      kernels::copy(table.row(word), out, op.width);
+      break;
+    }
+    case CellOpKind::kLeafConst:
+      kernels::fill(out, static_cast<float>(op.constant), op.width);
+      break;
+    case CellOpKind::kSliceChild: {
+      CORTEX_CHECK(static_cast<std::size_t>(op.child) < child_states.size())
+          << "cell reads child " << op.child << " but node has "
+          << child_states.size();
+      kernels::copy(child_states[static_cast<std::size_t>(op.child)] +
+                        op.offset,
+                    out, op.width);
+      break;
+    }
+    case CellOpKind::kChildSum: {
+      kernels::fill(out, 0.0f, op.width);
+      for (const float* cs : child_states)
+        kernels::acc(cs + op.offset, out, op.width);
+      break;
+    }
+    case CellOpKind::kMatVec: {
+      const Tensor& w = params.at(op.param);
+      kernels::gemv(w.data(), in_ptr(0), out, w.shape().dim(0),
+                    w.shape().dim(1));
+      break;
+    }
+    case CellOpKind::kNodeMatVec: {
+      // in0 is an H*H matrix register, in1 an H vector.
+      kernels::gemv(in_ptr(0), in_ptr(1), out, op.width, op.width);
+      break;
+    }
+    case CellOpKind::kMatStack2: {
+      // out (H*H) = Param(H, 2H) @ vstack(mat(in0), mat(in1)) (2H, H).
+      const Tensor& w = params.at(op.param);
+      const auto h = w.shape().dim(0);
+      CORTEX_CHECK(w.shape().dim(1) == 2 * h && op.width == h * h)
+          << "kMatStack2 param must be (H,2H) with out H*H";
+      std::vector<float> stacked(static_cast<std::size_t>(2 * h * h));
+      kernels::copy(in_ptr(0), stacked.data(), h * h);
+      kernels::copy(in_ptr(1), stacked.data() + h * h, h * h);
+      kernels::gemm(w.data(), stacked.data(), out, h, 2 * h, h);
+      break;
+    }
+    case CellOpKind::kEltwise: {
+      CORTEX_CHECK(compiled != nullptr) << "eltwise without compiled expr";
+      std::vector<const float*> ins;
+      ins.reserve(op.ins.size());
+      for (std::size_t k = 0; k < op.ins.size(); ++k)
+        ins.push_back(in_ptr(k));
+      std::map<std::string, const float*> pmap;
+      for (const std::string& pn : compiled->param_names())
+        pmap[pn] = params.at(pn).data();
+      for (std::int64_t i = 0; i < op.width; ++i)
+        out[i] = compiled->eval(i, ins, pmap);
+      break;
+    }
+    case CellOpKind::kConcat2: {
+      const std::int64_t w0 =
+          static_cast<std::int64_t>(regs[op.ins[0]].size());
+      kernels::copy(in_ptr(0), out, w0);
+      kernels::copy(in_ptr(1), out + w0, op.width - w0);
+      break;
+    }
+  }
+  if (is_last) return;
+}
+
+}  // namespace
+
+void run_cell_node(const std::vector<CellOp>& ops, const ModelParams& params,
+                   const std::vector<const float*>& child_states,
+                   std::int32_t word,
+                   std::map<std::string, std::vector<float>>& regs,
+                   float* out_state, std::int64_t state_width) {
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    CompiledEltwise ce;
+    const bool is_elt = ops[k].kind == CellOpKind::kEltwise;
+    if (is_elt) ce = CompiledEltwise(ops[k].expr);
+    exec_op(ops[k], is_elt ? &ce : nullptr, params, child_states, word, regs,
+            out_state, state_width, k + 1 == ops.size());
+  }
+}
+
+CellExecutor::CellExecutor(const CellProgram& cell, const ModelParams& params)
+    : cell_(cell), params_(params) {
+  for (const CellOp& op : cell.leaf_ops)
+    leaf_compiled_.push_back(op.kind == CellOpKind::kEltwise
+                                 ? CompiledEltwise(op.expr)
+                                 : CompiledEltwise());
+  for (const CellOp& op : cell.internal_ops)
+    internal_compiled_.push_back(op.kind == CellOpKind::kEltwise
+                                     ? CompiledEltwise(op.expr)
+                                     : CompiledEltwise());
+}
+
+void CellExecutor::run_ops(const std::vector<CellOp>& ops,
+                           const std::vector<CompiledEltwise>& compiled,
+                           const std::vector<const float*>& child_states,
+                           std::int32_t word, float* out_state) {
+  for (std::size_t k = 0; k < ops.size(); ++k)
+    exec_op(ops[k],
+            ops[k].kind == CellOpKind::kEltwise ? &compiled[k] : nullptr,
+            params_, child_states, word, regs_, out_state,
+            cell_.state_width, k + 1 == ops.size());
+}
+
+void CellExecutor::run_node(bool leaf,
+                            const std::vector<const float*>& child_states,
+                            std::int32_t word, float* out_state) {
+  if (leaf && !cell_.leaf_ops.empty())
+    run_ops(cell_.leaf_ops, leaf_compiled_, child_states, word, out_state);
+  else
+    run_ops(cell_.internal_ops, internal_compiled_, child_states, word,
+            out_state);
+}
+
+}  // namespace cortex::models

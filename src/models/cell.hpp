@@ -1,0 +1,169 @@
+#pragma once
+// Cell programs: each model's per-node computation expressed as a short
+// sequence of tensor operators over named registers. This is the
+// operator-granularity view that the baseline frameworks (PyTorch-like,
+// DyNet-like, Cavs-like) execute one kernel at a time, and that the Cortex
+// execution engine fuses into batch kernels. Numerical semantics are
+// shared by every engine, so cross-framework outputs are bit-identical and
+// the RA/ILIR path can be validated against the same cell.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ra/expr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cortex::models {
+
+/// Kinds of primitive cell operators.
+enum class CellOpKind {
+  kLeafEmbed,    ///< out = Table[word] (leaf nodes only)
+  kLeafConst,    ///< out = constant vector (uniform initial state)
+  kSliceChild,   ///< out = child_state[child][offset : offset+width]
+  kChildSum,     ///< out = sum over children of child_state[*][offset:+width]
+  kMatVec,       ///< out = Param @ in0 (Param is (width, |in0|))
+  kNodeMatVec,   ///< out = mat(in0, width x width) @ in1 (MV-RNN)
+  kMatStack2,    ///< out(H*H) = Param(H,2H) @ vstack(mat(in0), mat(in1))
+  kEltwise,      ///< out[i] = expr(e0[i], e1[i], ..., params[i])
+  kConcat2,      ///< out = concat(in0, in1)
+};
+
+/// One primitive operator of a cell program.
+struct CellOp {
+  CellOpKind kind = CellOpKind::kEltwise;
+  std::string out;            ///< destination register
+  std::int64_t width = 0;     ///< destination width
+
+  int child = 0;              ///< kSliceChild: which child
+  std::int64_t offset = 0;    ///< kSliceChild: offset into child state
+  double constant = 0.0;      ///< kLeafConst
+
+  std::string param;          ///< kLeafEmbed / kMatVec / kMatStack2 weight
+  std::vector<std::string> ins;  ///< input registers
+
+  /// kEltwise: scalar expression over vars "e0","e1",... (the inputs at
+  /// element i) and loads of 1-D params indexed by var "i".
+  ra::Expr expr;
+
+  /// Floating-point operations this op performs per node.
+  std::int64_t flops() const;
+  /// Bytes of weight data this op reads per invocation (0 if none).
+  std::int64_t param_bytes(const std::map<std::string,
+                                          std::int64_t>& param_elems) const;
+};
+
+/// A compiled elementwise expression: flat postfix program executed per
+/// element (fast path replacing AST interpretation).
+class CompiledEltwise {
+ public:
+  CompiledEltwise() = default;
+  /// Compiles `expr` given the input register names mapped to e0..ek and
+  /// the list of param names it may load.
+  explicit CompiledEltwise(const ra::Expr& expr);
+
+  /// Evaluates at element i with inputs ins[j][i]; params resolved by
+  /// name through `params` (1-D tensors).
+  float eval(std::int64_t i, const std::vector<const float*>& ins,
+             const std::map<std::string, const float*>& params) const;
+
+  bool empty() const { return prog_.empty(); }
+  /// Number of arithmetic instructions (used in flop accounting).
+  std::int64_t arith_ops() const { return arith_ops_; }
+
+ private:
+  enum class OpCode : std::uint8_t {
+    kPushInput, kPushParam, kPushConst,
+    kAdd, kSub, kMul, kDiv, kMax, kMin,
+    kTanh, kSigmoid, kRelu, kExp, kSelect,
+  };
+  struct Instr {
+    OpCode op;
+    std::int32_t slot = 0;   // input index / param index
+    float constant = 0.0f;
+  };
+  void compile(const ra::Expr& e);
+
+  std::vector<Instr> prog_;
+  std::vector<std::string> param_names_;
+  std::int64_t arith_ops_ = 0;
+
+ public:
+  const std::vector<std::string>& param_names() const {
+    return param_names_;
+  }
+};
+
+/// Floating-point operations one cell op performs per node, given the
+/// widths of all registers (from CellProgram::register_widths()). Used by
+/// the execution engines' device-cost accounting.
+std::int64_t cell_op_flops(const CellOp& op,
+                           const std::map<std::string, std::int64_t>& widths);
+
+/// Parameter tensors an op reads: its `param` plus any 1-D params loaded
+/// by an eltwise expression. Used for weight-byte accounting.
+std::vector<std::string> cell_op_params(const CellOp& op);
+
+/// A full cell: leaf program + internal program over named registers.
+struct CellProgram {
+  std::vector<CellOp> leaf_ops;
+  std::vector<CellOp> internal_ops;
+  std::int64_t state_width = 0;  ///< width of the node state vector
+  std::int64_t num_children = 2;
+
+  /// Widths of all registers (computed from the ops).
+  std::map<std::string, std::int64_t> register_widths() const;
+  /// Sum of per-node flops over internal ops.
+  std::int64_t internal_flops() const;
+  /// Sum of per-node flops over leaf ops.
+  std::int64_t leaf_flops() const;
+  /// Validates register/width consistency; throws on error.
+  void validate() const;
+};
+
+/// Model weights: named tensors keyed by parameter name.
+struct ModelParams {
+  std::map<std::string, Tensor> tensors;
+
+  const Tensor& at(const std::string& name) const;
+  std::int64_t total_bytes() const;
+  std::int64_t elems(const std::string& name) const;
+};
+
+/// Executes one node's cell program natively (the shared numeric kernel
+/// used by all engines). `child_states` holds num_children pointers to
+/// state vectors (may be empty for leaves). Scratch registers are managed
+/// by the caller via `regs` (register name -> buffer of its width).
+void run_cell_node(const std::vector<CellOp>& ops, const ModelParams& params,
+                   const std::vector<const float*>& child_states,
+                   std::int32_t word,
+                   std::map<std::string, std::vector<float>>& regs,
+                   float* out_state, std::int64_t state_width);
+
+/// Pre-compiled eltwise cache for hot loops (keyed by op pointer).
+class CellExecutor {
+ public:
+  CellExecutor(const CellProgram& cell, const ModelParams& params);
+
+  /// As run_cell_node, but with preallocated registers + compiled eltwise.
+  void run_node(bool leaf, const std::vector<const float*>& child_states,
+                std::int32_t word, float* out_state);
+
+  const CellProgram& cell() const { return cell_; }
+  const ModelParams& params() const { return params_; }
+
+ private:
+  void run_ops(const std::vector<CellOp>& ops,
+               const std::vector<CompiledEltwise>& compiled,
+               const std::vector<const float*>& child_states,
+               std::int32_t word, float* out_state);
+
+  const CellProgram& cell_;
+  const ModelParams& params_;
+  std::vector<CompiledEltwise> leaf_compiled_;
+  std::vector<CompiledEltwise> internal_compiled_;
+  std::map<std::string, std::vector<float>> regs_;
+};
+
+}  // namespace cortex::models

@@ -1,0 +1,40 @@
+#include <cmath>
+
+#include "models/model_zoo.hpp"
+
+namespace cortex::models {
+
+ModelParams init_params(const ModelDef& def, Rng& rng) {
+  ModelParams params;
+  for (const auto& [name, shape] : def.param_shapes) {
+    Shape s(shape);
+    // Scaled uniform init (1/sqrt(fan_in)) keeps pre-activations in the
+    // responsive range of tanh/sigmoid so cross-framework equivalence
+    // tests compare meaningful values, not saturated ±1s. Embedding
+    // tables use a wider range.
+    const bool is_table = shape.size() == 2 && shape[0] == def.vocab;
+    float a = 0.5f;
+    if (!is_table) {
+      const std::int64_t fan_in = shape.back();
+      a = 1.0f / std::sqrt(static_cast<float>(fan_in > 0 ? fan_in : 1));
+    }
+    params.tensors.emplace(name, Tensor::uniform(s, rng, -a, a));
+  }
+  return params;
+}
+
+std::vector<ModelDef> table2_models(bool small_hidden) {
+  // Table 2 with the paper's hidden sizes: hs/hl are 256/512 for TreeFC,
+  // DAG-RNN, TreeGRU and TreeLSTM, and 64/128 for MV-RNN.
+  const std::int64_t h = small_hidden ? 256 : 512;
+  const std::int64_t h_mv = small_hidden ? 64 : 128;
+  std::vector<ModelDef> models;
+  models.push_back(make_treefc(h));
+  models.push_back(make_dagrnn(h));
+  models.push_back(make_treegru(h));
+  models.push_back(make_treelstm(h));
+  models.push_back(make_mvrnn(h_mv));
+  return models;
+}
+
+}  // namespace cortex::models

@@ -1,0 +1,275 @@
+#include "ra/expr.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace cortex::ra {
+
+namespace {
+Expr make(ExprNode n) { return std::make_shared<const ExprNode>(std::move(n)); }
+}  // namespace
+
+Expr fimm(double v) {
+  ExprNode n{ExprKind::kFloatImm};
+  n.dtype = DType::kFloat;
+  n.fimm = v;
+  return make(std::move(n));
+}
+
+Expr imm(std::int64_t v) {
+  ExprNode n{ExprKind::kIntImm};
+  n.dtype = DType::kInt;
+  n.iimm = v;
+  return make(std::move(n));
+}
+
+Expr var(std::string name, DType dtype) {
+  ExprNode n{ExprKind::kVar};
+  n.dtype = dtype;
+  n.name = std::move(name);
+  return make(std::move(n));
+}
+
+Expr binary(BinOp op, Expr a, Expr b) {
+  CORTEX_CHECK(a && b) << "binary on null expr";
+  ExprNode n{ExprKind::kBinary};
+  n.dtype = (op == BinOp::kLt || op == BinOp::kGe || op == BinOp::kEq)
+                ? DType::kInt
+                : a->dtype;
+  n.bin = op;
+  n.args = {std::move(a), std::move(b)};
+  return make(std::move(n));
+}
+
+Expr add(Expr a, Expr b) { return binary(BinOp::kAdd, std::move(a), std::move(b)); }
+Expr sub(Expr a, Expr b) { return binary(BinOp::kSub, std::move(a), std::move(b)); }
+Expr mul(Expr a, Expr b) { return binary(BinOp::kMul, std::move(a), std::move(b)); }
+Expr div(Expr a, Expr b) { return binary(BinOp::kDiv, std::move(a), std::move(b)); }
+Expr lt(Expr a, Expr b) { return binary(BinOp::kLt, std::move(a), std::move(b)); }
+Expr ge(Expr a, Expr b) { return binary(BinOp::kGe, std::move(a), std::move(b)); }
+Expr eq(Expr a, Expr b) { return binary(BinOp::kEq, std::move(a), std::move(b)); }
+
+Expr call(CallFn fn, Expr a) {
+  CORTEX_CHECK(a) << "call on null expr";
+  ExprNode n{ExprKind::kCall};
+  n.dtype = DType::kFloat;
+  n.fn = fn;
+  n.args = {std::move(a)};
+  return make(std::move(n));
+}
+
+Expr load(std::string buffer, std::vector<Expr> indices) {
+  CORTEX_CHECK(!buffer.empty()) << "load from unnamed buffer";
+  ExprNode n{ExprKind::kLoad};
+  n.dtype = DType::kFloat;
+  n.name = std::move(buffer);
+  n.args = std::move(indices);
+  return make(std::move(n));
+}
+
+Expr sum(std::string axis, Expr extent, Expr body) {
+  ExprNode n{ExprKind::kSum};
+  n.dtype = DType::kFloat;
+  n.name = std::move(axis);
+  n.args = {std::move(extent), std::move(body)};
+  return make(std::move(n));
+}
+
+Expr child(Expr node, std::int64_t k) {
+  return child_at(std::move(node), imm(k));
+}
+
+Expr child_at(Expr node, Expr k) {
+  ExprNode n{ExprKind::kChild};
+  n.dtype = DType::kInt;
+  n.args = {std::move(node), std::move(k)};
+  return make(std::move(n));
+}
+
+Expr word_of(Expr node) {
+  ExprNode n{ExprKind::kWordOf};
+  n.dtype = DType::kInt;
+  n.args = {std::move(node)};
+  return make(std::move(n));
+}
+
+Expr num_children(Expr node) {
+  ExprNode n{ExprKind::kNumChildren};
+  n.dtype = DType::kInt;
+  n.args = {std::move(node)};
+  return make(std::move(n));
+}
+
+Expr is_leaf(Expr node) {
+  ExprNode n{ExprKind::kIsLeaf};
+  n.dtype = DType::kInt;
+  n.args = {std::move(node)};
+  return make(std::move(n));
+}
+
+Expr select(Expr cond, Expr then_e, Expr else_e) {
+  ExprNode n{ExprKind::kSelect};
+  n.dtype = then_e->dtype;
+  n.args = {std::move(cond), std::move(then_e), std::move(else_e)};
+  return make(std::move(n));
+}
+
+namespace {
+const char* bin_name(BinOp b) {
+  switch (b) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMax: return "max";
+    case BinOp::kMin: return "min";
+    case BinOp::kLt: return "<";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+  }
+  return "?";
+}
+const char* fn_name(CallFn f) {
+  switch (f) {
+    case CallFn::kTanh: return "tanh";
+    case CallFn::kSigmoid: return "sigmoid";
+    case CallFn::kRelu: return "relu";
+    case CallFn::kExp: return "exp";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string to_string(const Expr& e) {
+  CORTEX_CHECK(e != nullptr) << "to_string(null)";
+  std::ostringstream os;
+  switch (e->kind) {
+    case ExprKind::kFloatImm:
+      os << e->fimm;
+      break;
+    case ExprKind::kIntImm:
+      os << e->iimm;
+      break;
+    case ExprKind::kVar:
+      os << e->name;
+      break;
+    case ExprKind::kBinary:
+      if (e->bin == BinOp::kMax || e->bin == BinOp::kMin)
+        os << bin_name(e->bin) << "(" << to_string(e->args[0]) << ", "
+           << to_string(e->args[1]) << ")";
+      else
+        os << "(" << to_string(e->args[0]) << " " << bin_name(e->bin) << " "
+           << to_string(e->args[1]) << ")";
+      break;
+    case ExprKind::kCall:
+      os << fn_name(e->fn) << "(" << to_string(e->args[0]) << ")";
+      break;
+    case ExprKind::kLoad: {
+      os << e->name << "[";
+      for (std::size_t i = 0; i < e->args.size(); ++i) {
+        if (i) os << ",";
+        os << to_string(e->args[i]);
+      }
+      os << "]";
+      break;
+    }
+    case ExprKind::kSum:
+      os << "sum(" << e->name << ", 0:" << to_string(e->args[0]) << ", "
+         << to_string(e->args[1]) << ")";
+      break;
+    case ExprKind::kChild: {
+      const Expr& k = e->args[1];
+      if (k->kind == ExprKind::kIntImm && k->iimm == 0)
+        os << "left[" << to_string(e->args[0]) << "]";
+      else if (k->kind == ExprKind::kIntImm && k->iimm == 1)
+        os << "right[" << to_string(e->args[0]) << "]";
+      else
+        os << "child[" << to_string(e->args[0]) << "," << to_string(k)
+           << "]";
+      break;
+    }
+    case ExprKind::kWordOf:
+      os << "words[" << to_string(e->args[0]) << "]";
+      break;
+    case ExprKind::kNumChildren:
+      os << "num_children[" << to_string(e->args[0]) << "]";
+      break;
+    case ExprKind::kIsLeaf:
+      os << "isleaf(" << to_string(e->args[0]) << ")";
+      break;
+    case ExprKind::kSelect:
+      os << "select(" << to_string(e->args[0]) << ", "
+         << to_string(e->args[1]) << ", " << to_string(e->args[2]) << ")";
+      break;
+  }
+  return os.str();
+}
+
+bool struct_equal(const Expr& a, const Expr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind || a->dtype != b->dtype) return false;
+  if (a->fimm != b->fimm || a->iimm != b->iimm || a->name != b->name ||
+      a->bin != b->bin || a->fn != b->fn)
+    return false;
+  if (a->args.size() != b->args.size()) return false;
+  for (std::size_t i = 0; i < a->args.size(); ++i)
+    if (!struct_equal(a->args[i], b->args[i])) return false;
+  return true;
+}
+
+Expr substitute(const Expr& e, const std::string& name,
+                const Expr& replacement) {
+  CORTEX_CHECK(e != nullptr) << "substitute(null)";
+  if (e->kind == ExprKind::kVar && e->name == name) return replacement;
+  // Reductions bind their own axis; do not substitute through shadowing.
+  if (e->kind == ExprKind::kSum && e->name == name) return e;
+  bool changed = false;
+  std::vector<Expr> args;
+  args.reserve(e->args.size());
+  for (const Expr& a : e->args) {
+    Expr s = substitute(a, name, replacement);
+    changed = changed || (s != a);
+    args.push_back(std::move(s));
+  }
+  if (!changed) return e;
+  ExprNode n = *e;
+  n.args = std::move(args);
+  return std::make_shared<const ExprNode>(std::move(n));
+}
+
+namespace {
+void collect_loads_rec(const Expr& e, std::vector<std::string>& out,
+                       std::unordered_set<std::string>& seen) {
+  if (e->kind == ExprKind::kLoad && seen.insert(e->name).second)
+    out.push_back(e->name);
+  for (const Expr& a : e->args) collect_loads_rec(a, out, seen);
+}
+}  // namespace
+
+std::vector<std::string> collect_loads(const Expr& e) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  collect_loads_rec(e, out, seen);
+  return out;
+}
+
+bool uses_var(const Expr& e, const std::string& name) {
+  if (e->kind == ExprKind::kVar) return e->name == name;
+  if (e->kind == ExprKind::kSum && e->name == name)
+    return uses_var(e->args[0], name);  // body shadows; extent may still use
+  for (const Expr& a : e->args)
+    if (uses_var(a, name)) return true;
+  return false;
+}
+
+bool has_structure_access(const Expr& e) {
+  if (e->kind == ExprKind::kChild || e->kind == ExprKind::kWordOf ||
+      e->kind == ExprKind::kIsLeaf || e->kind == ExprKind::kNumChildren)
+    return true;
+  for (const Expr& a : e->args)
+    if (has_structure_access(a)) return true;
+  return false;
+}
+
+}  // namespace cortex::ra

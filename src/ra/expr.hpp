@@ -1,0 +1,122 @@
+#pragma once
+// Expression AST shared by the Recursive API (§3) and the ILIR (§5).
+//
+// The RA expresses each operator as a loop nest whose body is one of these
+// expressions (Listing 1); RA lowering rewrites structure accessors
+// (n.left, n.right, words[n], isleaf(n)) into *uninterpreted functions* of
+// loop variables (§5.1, after Strout et al.'s sparse polyhedral framework),
+// which at runtime are bound to the linearizer's arrays.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace cortex::ra {
+
+enum class DType { kFloat, kInt };
+
+enum class ExprKind {
+  kFloatImm,  ///< float literal
+  kIntImm,    ///< integer literal
+  kVar,       ///< loop / index variable
+  kBinary,    ///< arithmetic / comparison
+  kCall,      ///< intrinsic call (tanh, sigmoid, relu, exp)
+  kLoad,      ///< tensor element read: buffer[indices...]
+  kSum,       ///< reduction: sum over a named axis of a body expression
+  kChild,     ///< uninterpreted fn: id of the k-th child of a node
+  kWordOf,    ///< uninterpreted fn: word id attached to a node
+  kNumChildren,  ///< uninterpreted fn: child count of a node
+  kIsLeaf,    ///< structure predicate (1 if node is a leaf)
+  kSelect,    ///< ternary select(cond, then, else)
+};
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,
+  kMin,
+  kLt,  ///< a < b -> 0/1
+  kGe,  ///< a >= b -> 0/1
+  kEq,  ///< a == b -> 0/1
+};
+
+enum class CallFn { kTanh, kSigmoid, kRelu, kExp };
+
+struct ExprNode;
+/// Immutable, shared expression handle.
+using Expr = std::shared_ptr<const ExprNode>;
+
+/// One AST node. Fields are used according to `kind`; factory functions
+/// below are the only intended constructors.
+struct ExprNode {
+  ExprKind kind;
+  DType dtype = DType::kFloat;
+
+  double fimm = 0.0;         // kFloatImm
+  std::int64_t iimm = 0;     // kIntImm
+  std::string name;          // kVar: variable; kLoad: buffer; kSum: axis
+  BinOp bin = BinOp::kAdd;   // kBinary
+  CallFn fn = CallFn::kTanh; // kCall
+  std::vector<Expr> args;    // operands (see factories for layout)
+};
+
+// -- factories ---------------------------------------------------------------
+
+Expr fimm(double v);
+Expr imm(std::int64_t v);
+Expr var(std::string name, DType dtype = DType::kInt);
+Expr binary(BinOp op, Expr a, Expr b);
+Expr add(Expr a, Expr b);
+Expr sub(Expr a, Expr b);
+Expr mul(Expr a, Expr b);
+Expr div(Expr a, Expr b);
+Expr lt(Expr a, Expr b);
+Expr ge(Expr a, Expr b);
+Expr eq(Expr a, Expr b);
+Expr call(CallFn fn, Expr a);
+/// buffer[indices...]
+Expr load(std::string buffer, std::vector<Expr> indices);
+/// sum_{axis in [0, extent)} body
+Expr sum(std::string axis, Expr extent, Expr body);
+/// Uninterpreted: id of child `k` of node `node` (k=0 left, k=1 right).
+Expr child(Expr node, std::int64_t k);
+/// Uninterpreted: id of child `k` of node `node`, with a variable index
+/// (used by child-sum reductions over num_children(n)).
+Expr child_at(Expr node, Expr k);
+/// Uninterpreted: word id of node.
+Expr word_of(Expr node);
+/// Uninterpreted: number of children of node.
+Expr num_children(Expr node);
+/// Structure predicate: is `node` a leaf?
+Expr is_leaf(Expr node);
+Expr select(Expr cond, Expr then_e, Expr else_e);
+
+// -- utilities ---------------------------------------------------------------
+
+/// Pretty-prints an expression ("tanh(lh[n,i] + rh[n,i])").
+std::string to_string(const Expr& e);
+
+/// True if the two expressions are structurally identical.
+bool struct_equal(const Expr& a, const Expr& b);
+
+/// Substitutes occurrences of variable `name` with `replacement`.
+Expr substitute(const Expr& e, const std::string& name,
+                const Expr& replacement);
+
+/// Collects the names of all buffers Load-ed by `e` (deduplicated,
+/// in first-occurrence order).
+std::vector<std::string> collect_loads(const Expr& e);
+
+/// True if any subexpression depends on variable `name`.
+bool uses_var(const Expr& e, const std::string& name);
+
+/// True if the expression contains structure accessors (kChild, kWordOf,
+/// kIsLeaf, kNumChildren) — i.e. indirect accesses after lowering.
+bool has_structure_access(const Expr& e);
+
+}  // namespace cortex::ra

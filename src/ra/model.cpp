@@ -1,0 +1,63 @@
+#include "ra/model.hpp"
+
+#include <unordered_set>
+
+namespace cortex::ra {
+
+namespace {
+void topo_visit(const OpRef& op, std::unordered_set<const Op*>& seen,
+                std::vector<OpRef>& out) {
+  if (!op || !seen.insert(op.get()).second) return;
+  for (const OpRef& in : op->inputs) topo_visit(in, seen, out);
+  if (op->tag == OpTag::kIfThenElse) {
+    topo_visit(op->then_op, seen, out);
+    topo_visit(op->else_op, seen, out);
+  }
+  if (op->tag == OpTag::kRecursion) {
+    topo_visit(op->placeholder, seen, out);
+    topo_visit(op->recursion_body, seen, out);
+  }
+  out.push_back(op);
+}
+}  // namespace
+
+std::vector<OpRef> Model::topo_ops() const {
+  CORTEX_CHECK(recursion && recursion->tag == OpTag::kRecursion)
+      << "model " << name << " has no recursion op";
+  std::unordered_set<const Op*> seen;
+  std::vector<OpRef> out;
+  topo_visit(recursion, seen, out);
+  return out;
+}
+
+std::vector<OpRef> Model::weight_ops() const {
+  std::vector<OpRef> out;
+  for (const OpRef& op : topo_ops())
+    if (op->tag == OpTag::kInput) out.push_back(op);
+  return out;
+}
+
+std::int64_t Model::weight_bytes() const {
+  std::int64_t bytes = 0;
+  for (const OpRef& w : weight_ops()) {
+    std::int64_t n = 1;
+    for (auto d : w->input_shape) n *= d;
+    bytes += n * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+Model make_model(std::string name, OpRef recursion,
+                 linearizer::StructureKind kind, std::int64_t max_children) {
+  CORTEX_CHECK(recursion && recursion->tag == OpTag::kRecursion)
+      << "make_model: root must be a recursion_op";
+  CORTEX_CHECK(max_children >= 1) << "max_children must be >= 1";
+  Model m;
+  m.name = std::move(name);
+  m.recursion = std::move(recursion);
+  m.kind = kind;
+  m.max_children = max_children;
+  return m;
+}
+
+}  // namespace cortex::ra

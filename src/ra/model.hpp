@@ -1,0 +1,45 @@
+#pragma once
+// The RA model: an operator DAG rooted at a recursion_op, plus the basic
+// data-structure information the user must declare (§3: structure kind and
+// maximum children per node).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linearizer/linearizer.hpp"
+#include "ra/op.hpp"
+
+namespace cortex::ra {
+
+/// A complete recursive model expressed in the RA.
+struct Model {
+  std::string name;
+  /// The recursion tying the placeholder to the body.
+  OpRef recursion;
+  /// Declared input structure.
+  linearizer::StructureKind kind = linearizer::StructureKind::kTree;
+  std::int64_t max_children = 2;
+  /// Hidden/state width (trailing elements of the recursion output).
+  std::int64_t state_width() const {
+    return recursion->recursion_body->inner_elems();
+  }
+
+  /// All operators reachable from the recursion body, topologically sorted
+  /// (producers before consumers); includes inputs and the placeholder,
+  /// flattens if_then_else branches.
+  std::vector<OpRef> topo_ops() const;
+
+  /// All kInput weight tensors, in topo order.
+  std::vector<OpRef> weight_ops() const;
+
+  /// Total weight bytes (for the persistence capacity check).
+  std::int64_t weight_bytes() const;
+};
+
+/// Convenience: builds a Model after basic validation.
+Model make_model(std::string name, OpRef recursion,
+                 linearizer::StructureKind kind,
+                 std::int64_t max_children = 2);
+
+}  // namespace cortex::ra

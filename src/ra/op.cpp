@@ -1,0 +1,196 @@
+#include "ra/op.hpp"
+
+#include <sstream>
+
+namespace cortex::ra {
+
+bool Op::per_node() const {
+  return !axes.empty() && axes.front() == "n";
+}
+
+std::int64_t Op::inner_elems() const {
+  CORTEX_CHECK(per_node()) << "inner_elems on non-per-node op " << name;
+  std::int64_t prod = 1;
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    CORTEX_CHECK(extents[i]->kind == ExprKind::kIntImm)
+        << "non-constant inner extent on op " << name;
+    prod *= extents[i]->iimm;
+  }
+  return prod;
+}
+
+OpRef input_tensor(std::string name, std::vector<std::int64_t> shape) {
+  auto op = std::make_shared<Op>();
+  op->tag = OpTag::kInput;
+  op->name = std::move(name);
+  op->input_shape = std::move(shape);
+  return op;
+}
+
+OpRef placeholder(std::string name, std::vector<std::int64_t> inner_shape) {
+  auto op = std::make_shared<Op>();
+  op->tag = OpTag::kPlaceholder;
+  op->name = std::move(name);
+  op->input_shape = std::move(inner_shape);
+  op->axes = {"n", "i"};
+  std::int64_t prod = 1;
+  for (auto d : op->input_shape) prod *= d;
+  op->extents = {var("N"), imm(prod)};
+  return op;
+}
+
+OpRef compute(std::string name, std::vector<std::string> axes,
+              std::vector<Expr> extents, Expr body,
+              std::vector<OpRef> inputs) {
+  CORTEX_CHECK(axes.size() == extents.size())
+      << "compute " << name << ": axes/extents size mismatch";
+  CORTEX_CHECK(body != nullptr) << "compute " << name << ": null body";
+  auto op = std::make_shared<Op>();
+  op->tag = OpTag::kCompute;
+  op->pattern = ComputePattern::kOpaque;
+  op->name = std::move(name);
+  op->axes = std::move(axes);
+  op->extents = std::move(extents);
+  op->body = std::move(body);
+  op->inputs = std::move(inputs);
+  return op;
+}
+
+OpRef embed_lookup(std::string name, OpRef table, std::int64_t width) {
+  CORTEX_CHECK(table && table->tag == OpTag::kInput &&
+               table->input_shape.size() == 2 &&
+               table->input_shape[1] == width)
+      << "embed_lookup needs an input table of shape (V," << width << ")";
+  Expr body = load(table->name, {word_of(var("n")), var("i")});
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(width)},
+                     std::move(body), {table});
+  op->pattern = ComputePattern::kEmbedLookup;
+  return op;
+}
+
+OpRef child_read(std::string name, OpRef ph, std::int64_t k,
+                 std::int64_t width) {
+  return child_read_slice(std::move(name), std::move(ph), k, 0, width);
+}
+
+OpRef child_read_slice(std::string name, OpRef ph, std::int64_t k,
+                       std::int64_t offset, std::int64_t width) {
+  CORTEX_CHECK(ph && ph->tag == OpTag::kPlaceholder)
+      << "child_read must read a recursion placeholder";
+  CORTEX_CHECK(offset >= 0) << "negative slice offset";
+  Expr idx = offset == 0 ? var("i") : add(var("i"), imm(offset));
+  Expr body = load(ph->name, {child(var("n"), k), std::move(idx)});
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(width)},
+                     std::move(body), {ph});
+  op->pattern = ComputePattern::kChildRead;
+  return op;
+}
+
+OpRef child_sum(std::string name, OpRef ph, std::int64_t width) {
+  CORTEX_CHECK(ph && ph->tag == OpTag::kPlaceholder)
+      << "child_sum must read a recursion placeholder";
+  // sum_{k in [0, num_children(n))} ph[child(n,k), i]
+  Expr body = sum("k", num_children(var("n")),
+                  load(ph->name, {child_at(var("n"), var("k")), var("i")}));
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(width)},
+                     std::move(body), {ph});
+  op->pattern = ComputePattern::kChildSum;
+  return op;
+}
+
+OpRef matvec(std::string name, OpRef w, OpRef in) {
+  CORTEX_CHECK(w && w->tag == OpTag::kInput && w->input_shape.size() == 2)
+      << "matvec weight must be a 2-D input tensor";
+  CORTEX_CHECK(in && in->per_node()) << "matvec input must be per-node";
+  const std::int64_t m = w->input_shape[0];
+  const std::int64_t k = w->input_shape[1];
+  CORTEX_CHECK(in->inner_elems() == k)
+      << "matvec " << name << ": W is (" << m << "," << k << ") but input "
+      << in->name << " has width " << in->inner_elems();
+  Expr body = sum("j", imm(k),
+                  mul(load(w->name, {var("i"), var("j")}),
+                      load(in->name, {var("n"), var("j")})));
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(m)},
+                     std::move(body), {w, in});
+  op->pattern = ComputePattern::kMatVec;
+  return op;
+}
+
+OpRef eltwise(std::string name, Expr body, std::vector<OpRef> inputs,
+              std::int64_t width) {
+  for (const auto& in : inputs)
+    CORTEX_CHECK(in != nullptr) << "eltwise " << name << ": null input";
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(width)},
+                     std::move(body), std::move(inputs));
+  op->pattern = ComputePattern::kEltwise;
+  return op;
+}
+
+OpRef const_init(std::string name, double value, std::int64_t width) {
+  OpRef op = compute(std::move(name), {"n", "i"}, {var("N"), imm(width)},
+                     fimm(value), {});
+  op->pattern = ComputePattern::kConstInit;
+  return op;
+}
+
+OpRef if_then_else(std::string name, Expr cond, OpRef then_op,
+                   OpRef else_op) {
+  CORTEX_CHECK(cond && then_op && else_op) << "if_then_else: null arg";
+  CORTEX_CHECK(then_op->per_node() && else_op->per_node())
+      << "if_then_else branches must be per-node operators";
+  CORTEX_CHECK(then_op->inner_elems() == else_op->inner_elems())
+      << "if_then_else branch widths differ";
+  auto op = std::make_shared<Op>();
+  op->tag = OpTag::kIfThenElse;
+  op->name = std::move(name);
+  op->axes = {"n", "i"};
+  op->extents = {var("N"), imm(then_op->inner_elems())};
+  op->cond = std::move(cond);
+  op->then_op = std::move(then_op);
+  op->else_op = std::move(else_op);
+  op->inputs = {op->then_op, op->else_op};
+  return op;
+}
+
+OpRef recursion_op(OpRef ph, OpRef body) {
+  CORTEX_CHECK(ph && ph->tag == OpTag::kPlaceholder)
+      << "recursion_op needs a placeholder";
+  CORTEX_CHECK(body && body->per_node()) << "recursion body must be per-node";
+  auto op = std::make_shared<Op>();
+  op->tag = OpTag::kRecursion;
+  op->name = ph->name + "_rec";
+  op->axes = body->axes;
+  op->extents = body->extents;
+  op->placeholder = std::move(ph);
+  op->recursion_body = std::move(body);
+  op->inputs = {op->recursion_body};
+  return op;
+}
+
+std::string to_string(const OpRef& op) {
+  CORTEX_CHECK(op != nullptr) << "to_string(null op)";
+  std::ostringstream os;
+  os << op->name;
+  if (op->tag == OpTag::kInput) {
+    os << " = input(";
+    for (std::size_t i = 0; i < op->input_shape.size(); ++i)
+      os << (i ? "," : "") << op->input_shape[i];
+    os << ")";
+    return os.str();
+  }
+  os << "[";
+  for (std::size_t i = 0; i < op->axes.size(); ++i)
+    os << (i ? "," : "") << op->axes[i];
+  os << "]";
+  if (op->tag == OpTag::kPlaceholder) return os.str() + " = placeholder";
+  if (op->tag == OpTag::kIfThenElse)
+    return os.str() + " = if " + to_string(op->cond) + " then " +
+           op->then_op->name + " else " + op->else_op->name;
+  if (op->tag == OpTag::kRecursion)
+    return os.str() + " = recursion(" + op->placeholder->name + " := " +
+           op->recursion_body->name + ")";
+  os << " = " << to_string(op->body);
+  return os.str();
+}
+
+}  // namespace cortex::ra

@@ -1,0 +1,40 @@
+#include "ra/schedule.hpp"
+
+#include <sstream>
+
+#include "ra/model.hpp"
+
+namespace cortex::ra {
+
+void validate_schedule(const Model& model, const Schedule& s) {
+  CORTEX_CHECK(s.unroll_depth >= 1)
+      << "unroll_depth must be >= 1, got " << s.unroll_depth;
+  if (model.kind == linearizer::StructureKind::kDag) {
+    // §3.1: unrolling and refactoring would duplicate work for nodes with
+    // multiple parents, so they are only supported for trees/sequences.
+    CORTEX_CHECK(s.unroll_depth == 1)
+        << "recursion unrolling is unsupported for DAG models ("
+        << model.name << ")";
+    CORTEX_CHECK(!s.refactor)
+        << "recursive refactoring is unsupported for DAG models ("
+        << model.name << ")";
+  }
+  // Appendix D: unrolled recursion plus register-persisted weights exceed
+  // the register budget; the paper found persistence must be dropped.
+  CORTEX_CHECK(!(s.unroll_depth > 1 && s.persistence))
+      << "register pressure: recursion unrolling precludes model "
+         "persistence (paper Appendix D); disable one of them";
+}
+
+std::string to_string(const Schedule& s) {
+  std::ostringstream os;
+  os << "{batch=" << (s.dynamic_batching ? "on" : "off")
+     << " specialize=" << (s.specialize_leaves ? "on" : "off")
+     << " unroll=" << s.unroll_depth
+     << " refactor=" << (s.refactor ? "on" : "off") << " fusion="
+     << (s.fusion == FusionLevel::kMaximal ? "maximal" : "none")
+     << " persist=" << (s.persistence ? "on" : "off") << "}";
+  return os.str();
+}
+
+}  // namespace cortex::ra

@@ -1,0 +1,80 @@
+#pragma once
+// Recursion scheduling primitives (§3.1) plus the ILIR-level optimization
+// knobs (§5, §7.3): everything the paper exposes as a schedule, collected
+// into one validated object consumed by lowering and the execution engine.
+
+#include <cstdint>
+#include <string>
+
+#include "linearizer/linearizer.hpp"
+
+namespace cortex::ra {
+
+struct Model;
+
+/// How aggressively operators are fused into kernels (Fig. 10a's axis).
+enum class FusionLevel {
+  kNone,     ///< one kernel launch per operator per batch (vendor-library
+             ///< style granularity)
+  kMaximal,  ///< all operators of a batch step fused into one kernel
+};
+
+/// Schedule for a recursive model. Defaults reproduce the paper's
+/// best-performing configuration for tree models.
+struct Schedule {
+  // -- recursion scheduling primitives (§3.1) --------------------------------
+  /// dynamic_batch(rnn): batch independent nodes, process wavefronts.
+  bool dynamic_batching = true;
+  /// specialize(isleaf(n)): split leaf/internal loop nests; enables
+  /// hoisting + constant propagation (§4.3). When false, the lowered code
+  /// carries a conditional operator (§5.2) executed per node.
+  bool specialize_leaves = true;
+  /// Recursion unrolling depth (1 = no unrolling). Only trees/sequences
+  /// (§3.1: repeated computation on DAGs). Unrolling moves a node's
+  /// computation next to its children's, enabling on-chip reuse, but on
+  /// batched schedules multiplies global barriers (Fig. 11).
+  std::int64_t unroll_depth = 1;
+  /// Recursive refactoring: move the recursion backedge so sibling
+  /// computations fuse (Fig. 4). Only trees/sequences.
+  bool refactor = false;
+
+  // -- ILIR / codegen-level knobs --------------------------------------------
+  FusionLevel fusion = FusionLevel::kMaximal;
+  /// Model persistence: keep weights resident in on-chip memory across
+  /// batch steps (GRNN/PersistentRNN-style).
+  bool persistence = true;
+  /// Dense indexing of scratchpad intermediates (§5.1, Fig. 5).
+  bool dense_intermediates = true;
+  /// Loop peeling of variable-bound loops (§A.5).
+  bool loop_peeling = true;
+  /// Use the improved barrier-insertion pass (§A.4). When false, the
+  /// conservative TVM-style pass places barriers in the innermost loop.
+  bool improved_barrier_placement = true;
+  /// Lock-free (vs lock-based) device-wide barrier (§7.2, Fig. 9).
+  bool lock_free_barrier = false;
+
+  /// The paper's Cavs-comparison configuration (§7.2): specialization off.
+  static Schedule cavs_comparable() {
+    Schedule s;
+    s.specialize_leaves = false;
+    return s;
+  }
+  /// Everything off: the no-optimization baseline of Fig. 10a.
+  static Schedule unoptimized() {
+    Schedule s;
+    s.fusion = FusionLevel::kNone;
+    s.specialize_leaves = false;
+    s.persistence = false;
+    return s;
+  }
+};
+
+/// Validates a schedule against a model; throws cortex::Error on illegal
+/// combinations (unroll/refactor on DAGs — §3.1; unroll with persistence —
+/// the Appendix-D register-pressure limit).
+void validate_schedule(const Model& model, const Schedule& schedule);
+
+/// Human-readable one-liner for bench output.
+std::string to_string(const Schedule& s);
+
+}  // namespace cortex::ra

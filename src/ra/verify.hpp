@@ -1,0 +1,30 @@
+#pragma once
+// Verifier for the paper's §2 properties, which are what make lowering
+// recursion to loops legal:
+//   P.1 all control flow depends only on data-structure connectivity,
+//   P.2 all recursive calls happen before any tensor computation,
+//   P.3 recursive calls to children are mutually independent.
+// The RA's expression language makes most violations unrepresentable by
+// construction; this pass checks the residual conditions on an op DAG and
+// reports which property a model would violate.
+
+#include <string>
+
+#include "ra/model.hpp"
+
+namespace cortex::ra {
+
+/// Result of verifying a model against P.1–P.3.
+struct VerifyResult {
+  bool ok = true;
+  std::string violation;  ///< empty when ok
+};
+
+/// Checks the model. Returns a failure describing the first violated
+/// property; models that pass are lowerable to the ILIR.
+VerifyResult verify_properties(const Model& model);
+
+/// Throwing wrapper used by the compilation entry points.
+void verify_or_throw(const Model& model);
+
+}  // namespace cortex::ra

@@ -1,0 +1,49 @@
+#include "roofline/roofline.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cortex::roofline {
+
+TreeFcRoofline treefc_roofline(std::int64_t n_nodes, std::int64_t batch,
+                               std::int64_t hidden) {
+  CORTEX_CHECK(n_nodes > 0 && batch > 0 && hidden > 0)
+      << "roofline parameters must be positive";
+  const double n = static_cast<double>(n_nodes);
+  const double b = static_cast<double>(batch);
+  const double h = static_cast<double>(hidden);
+
+  TreeFcRoofline r;
+  // F = B*N*(4*H*H + H): the (H,2H) matvec plus the bias add, per node.
+  r.flops = b * n * (4.0 * h * h + h);
+
+  // Fig. 14's byte formulas; the leading 4 is sizeof(float).
+  // Cortex: params read once (persistence), per node: children h (2H)
+  // read + h (H) written.
+  r.bytes_cortex = 4.0 * (2.0 * h * h + h + b * n * (2.0 * h + h));
+  // DyNet: params re-read once per dynamic batch (~log2 N batches);
+  // per node the matvec result makes an extra off-chip round trip.
+  r.bytes_dynet =
+      4.0 * (std::log2(n) * (2.0 * h * h + h) +
+             b * n * (2.0 * h + h + h + h));
+  // PyTorch: params re-read for every node.
+  r.bytes_pytorch =
+      4.0 * (b * n * (2.0 * h * h + h) + b * n * (2.0 * h + h + h + h));
+  return r;
+}
+
+double approx_oi_cortex(std::int64_t n0, std::int64_t batch) {
+  const double b = static_cast<double>(batch);
+  return b * static_cast<double>(n0) / (3.0 * b + 2.0);
+}
+
+double approx_oi_dynet(std::int64_t n0, std::int64_t batch) {
+  const double b = static_cast<double>(batch);
+  return b * static_cast<double>(n0) /
+         (5.0 * b + 8.0 * std::log2(static_cast<double>(n0)));
+}
+
+double approx_oi_pytorch() { return 0.5; }
+
+}  // namespace cortex::roofline

@@ -1,0 +1,37 @@
+#pragma once
+// Appendix C: roofline operational-intensity analysis of the TreeFC model
+// under the PyTorch, DyNet and Cortex execution regimes (Fig. 14). The
+// total flop count F is framework-independent; the frameworks differ in
+// off-chip bytes B (weight re-reads and intermediate materialization),
+// giving O = F / B with O_cortex > O_dynet > O_pytorch.
+
+#include <cstdint>
+
+namespace cortex::roofline {
+
+/// Exact byte/flop model of Fig. 14 for given tree size N, batch size B
+/// and hidden size H. All byte quantities include the sizeof(float)
+/// factor the paper writes as the leading 4.
+struct TreeFcRoofline {
+  double flops = 0;
+  double bytes_cortex = 0;
+  double bytes_dynet = 0;
+  double bytes_pytorch = 0;
+
+  double oi_cortex() const { return flops / bytes_cortex; }
+  double oi_dynet() const { return flops / bytes_dynet; }
+  double oi_pytorch() const { return flops / bytes_pytorch; }
+};
+
+TreeFcRoofline treefc_roofline(std::int64_t n_nodes, std::int64_t batch,
+                               std::int64_t hidden);
+
+/// The paper's closed-form approximations under N ~ H = N0 >> B >= 1:
+///   O_cortex  ~ B*N0 / (3B + 2)
+///   O_dynet   ~ B*N0 / (5B + 8 log2 N0)
+///   O_pytorch ~ 0.5
+double approx_oi_cortex(std::int64_t n0, std::int64_t batch);
+double approx_oi_dynet(std::int64_t n0, std::int64_t batch);
+double approx_oi_pytorch();
+
+}  // namespace cortex::roofline

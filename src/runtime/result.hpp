@@ -1,0 +1,26 @@
+#pragma once
+// The result every execution engine in this repo (Cortex + the baseline
+// frameworks) returns, so benches and equivalence tests treat them
+// uniformly. Latency is the modeled end-to-end inference latency
+// (Profiler::total_latency_*), matching how the paper reports Tables 4-6.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/profiler.hpp"
+
+namespace cortex::runtime {
+
+struct RunResult {
+  /// Final state vector of each root, in mini-batch order (one entry per
+  /// tree; DAGs contribute one entry per sink node, in node order).
+  std::vector<std::vector<float>> root_states;
+  /// Activity breakdown + modeled latency for this run.
+  Profiler profiler;
+  /// Peak device-memory footprint of the run (Fig. 12).
+  std::int64_t peak_memory_bytes = 0;
+
+  double latency_ms() const { return profiler.total_latency_ms(); }
+};
+
+}  // namespace cortex::runtime

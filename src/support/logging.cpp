@@ -1,0 +1,11 @@
+#include "support/logging.hpp"
+
+namespace cortex {
+
+void fail(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace cortex

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal error-reporting helpers: CHECK-style invariant macros that throw
+// std::runtime_error with file/line context. We throw (rather than abort) so
+// tests can assert that malformed inputs are rejected.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cortex {
+
+/// Exception thrown on violated invariants and malformed user input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail(const char* file, int line, const std::string& msg);
+
+namespace detail {
+/// Stream-collects a message then throws on destruction-free path.
+class FailStream {
+ public:
+  FailStream(const char* file, int line) : file_(file), line_(line) {}
+  template <typename T>
+  FailStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] void raise() { fail(file_, line_, os_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace cortex
+
+/// CORTEX_CHECK(cond) << "message"; throws cortex::Error when cond is false.
+#define CORTEX_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::cortex::detail::ThrowOnEnd{} &                                   \
+        ::cortex::detail::FailStream(__FILE__, __LINE__)               \
+            << "Check failed: " #cond " "
+
+namespace cortex::detail {
+/// Helper that triggers FailStream::raise at the end of the full expression.
+struct ThrowOnEnd {
+  [[noreturn]] friend void operator&(ThrowOnEnd, FailStream& fs) {
+    fs.raise();
+  }
+  [[noreturn]] friend void operator&(ThrowOnEnd, FailStream&& fs) {
+    fs.raise();
+  }
+};
+}  // namespace cortex::detail

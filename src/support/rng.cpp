@@ -1,0 +1,15 @@
+#include "support/rng.hpp"
+
+namespace cortex {
+
+float Rng::next_gaussian() {
+  float s = 0.0f;
+  for (int i = 0; i < 12; ++i) s += next_float();
+  return s - 6.0f;
+}
+
+void Rng::fill_uniform(float* data, std::size_t n, float lo, float hi) {
+  for (std::size_t i = 0; i < n; ++i) data[i] = next_float_in(lo, hi);
+}
+
+}  // namespace cortex

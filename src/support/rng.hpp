@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic pseudo-random number generation used across the repo.
+//
+// Everything in this reproduction (workload generation, weight init,
+// synthetic treebanks) must be reproducible run-to-run, so all randomness
+// flows through this splitmix64/xoshiro-style generator seeded explicitly.
+
+#include <cstdint>
+#include <vector>
+
+namespace cortex {
+
+/// Small, fast, deterministic RNG (splitmix64). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float_in(float lo, float hi) {
+    return lo + (hi - lo) * next_float();
+  }
+
+  /// Approximately normal(0,1) via sum of uniforms (Irwin–Hall, k=12).
+  float next_gaussian();
+
+  /// Fill a buffer with uniform floats in [lo, hi).
+  void fill_uniform(float* data, std::size_t n, float lo, float hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cortex

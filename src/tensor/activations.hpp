@@ -1,0 +1,42 @@
+#pragma once
+// Activation functions. The paper (§A.5) uses rational approximations of
+// tanh and sigmoid so CPU SIMD units can be exploited; we provide both the
+// exact libm versions (reference) and the rational approximations that
+// Cortex-generated code uses. All frameworks in the evaluation are
+// configured with the same variant so outputs stay bit-comparable.
+
+#include <cstdint>
+
+namespace cortex::kernels {
+
+/// Exact tanh via libm.
+float tanh_exact(float x);
+/// Exact logistic sigmoid via libm.
+float sigmoid_exact(float x);
+
+/// Rational (Padé-style) approximation of tanh; max abs error ~3e-5 on
+/// [-5,5], clamped to ±1 outside.
+float tanh_rational(float x);
+/// Sigmoid derived from tanh_rational: 0.5 * (1 + tanh(x/2)).
+float sigmoid_rational(float x);
+
+/// out[i] = tanh(a[i]) using the rational approximation.
+void tanh_vec(const float* a, float* out, std::int64_t n);
+/// out[i] = sigmoid(a[i]) using the rational approximation.
+void sigmoid_vec(const float* a, float* out, std::int64_t n);
+/// out[i] = max(a[i], 0).
+void relu_vec(const float* a, float* out, std::int64_t n);
+
+/// Enumeration of pointwise activations used by model definitions and IRs.
+enum class Activation { kTanh, kSigmoid, kRelu, kIdentity };
+
+/// Scalar application of an Activation (rational variants).
+float apply_activation(Activation act, float x);
+/// Vector application of an Activation (rational variants).
+void apply_activation_vec(Activation act, const float* a, float* out,
+                          std::int64_t n);
+
+/// Printable name ("tanh", "sigmoid", ...).
+const char* activation_name(Activation act);
+
+}  // namespace cortex::kernels

@@ -1,0 +1,92 @@
+#pragma once
+// Kernel library: the "vendor BLAS" substitute every framework in this repo
+// calls into (see DESIGN.md §2). Raw-pointer kernels operate on contiguous
+// row-major buffers; Tensor-typed wrappers add shape checking.
+//
+// Two GEMM variants are provided: a naive reference (tests) and a
+// cache-blocked version (everything else).
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace cortex::kernels {
+
+// ---------------------------------------------------------------------------
+// Raw-pointer kernels (hot paths).
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n]. Naive triple loop; reference implementation.
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n);
+
+/// C[m,n] = A[m,k] * B[k,n]. Cache-blocked with unrolled inner loop.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+/// C[m,n] += A[m,k] * B[k,n].
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n);
+
+/// y[m] = A[m,k] * x[k].
+void gemv(const float* a, const float* x, float* y, std::int64_t m,
+          std::int64_t k);
+
+/// y[m] += A[m,k] * x[k].
+void gemv_acc(const float* a, const float* x, float* y, std::int64_t m,
+              std::int64_t k);
+
+/// out[i] = a[i] + b[i].
+void add(const float* a, const float* b, float* out, std::int64_t n);
+/// out[i] = a[i] - b[i].
+void sub(const float* a, const float* b, float* out, std::int64_t n);
+/// out[i] = a[i] * b[i].
+void mul(const float* a, const float* b, float* out, std::int64_t n);
+/// out[i] += a[i] * b[i].
+void mul_acc(const float* a, const float* b, float* out, std::int64_t n);
+/// out[i] = a[i] + s.
+void add_scalar(const float* a, float s, float* out, std::int64_t n);
+/// out[i] = a[i] * s.
+void scale(const float* a, float s, float* out, std::int64_t n);
+/// out[i] = v.
+void fill(float* out, float v, std::int64_t n);
+/// out[i] = a[i].
+void copy(const float* a, float* out, std::int64_t n);
+/// acc[i] += a[i].
+void acc(const float* a, float* accum, std::int64_t n);
+
+/// Concatenate two length-n vectors into out[0:2n].
+void concat2(const float* a, const float* b, float* out, std::int64_t n);
+
+/// Gather rows: out[r,:] = table[idx[r],:] for r in [0,rows).
+void gather_rows(const float* table, const std::int32_t* idx, float* out,
+                 std::int64_t rows, std::int64_t width);
+
+/// Scatter rows: table[idx[r],:] = in[r,:] for r in [0,rows).
+void scatter_rows(float* table, const std::int32_t* idx, const float* in,
+                  std::int64_t rows, std::int64_t width);
+
+// ---------------------------------------------------------------------------
+// Tensor-typed wrappers (shape-checked; examples/tests/baselines).
+// ---------------------------------------------------------------------------
+
+/// C = A @ B for 2-D tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Row-wise A @ B^T convenience: out[r,:] = W @ in[r,:] for each row r.
+/// in: (rows, k), w: (m, k) -> out: (rows, m).
+Tensor linear(const Tensor& in, const Tensor& w);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+/// Broadcasting add of a rank-1 bias over the last dimension.
+Tensor add_bias(const Tensor& a, const Tensor& bias);
+/// Concatenation along the last dimension of two equal-leading tensors.
+Tensor concat_last(const Tensor& a, const Tensor& b);
+
+/// Count of floating-point operations for a GEMM of these dimensions.
+inline std::int64_t gemm_flops(std::int64_t m, std::int64_t k,
+                               std::int64_t n) {
+  return 2 * m * k * n;
+}
+
+}  // namespace cortex::kernels

@@ -1,0 +1,113 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace cortex {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ",";
+    os << dims_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  const auto n = static_cast<std::size_t>(shape_.numel());
+  data_ = std::shared_ptr<float[]>(new float[std::max<std::size_t>(n, 1)]);
+}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t(std::move(shape));
+  t.zero();
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill_n(t.data(), t.numel(), value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t.data(), static_cast<std::size_t>(t.numel()), lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  CORTEX_CHECK(static_cast<std::int64_t>(values.size()) == shape.numel())
+      << "from_vector: " << values.size() << " values for shape "
+      << shape.str();
+  Tensor t(std::move(shape));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+float& Tensor::at(std::int64_t i) {
+  CORTEX_CHECK(shape_.rank() == 1 && i >= 0 && i < shape_.dim(0))
+      << "at(" << i << ") on shape " << shape_.str();
+  return data()[i];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  CORTEX_CHECK(shape_.rank() == 2 && i >= 0 && i < shape_.dim(0) && j >= 0 &&
+               j < shape_.dim(1))
+      << "at(" << i << "," << j << ") on shape " << shape_.str();
+  return data()[i * shape_.dim(1) + j];
+}
+
+float Tensor::at(std::int64_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), sizeof(float) * numel());
+  return t;
+}
+
+void Tensor::zero() { std::memset(data(), 0, sizeof(float) * numel()); }
+
+std::string Tensor::str(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.str() << " [";
+  const auto n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data()[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  CORTEX_CHECK(a.shape() == b.shape())
+      << "max_abs_diff shape mismatch: " << a.shape().str() << " vs "
+      << b.shape().str();
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  float scale = 0.0f;
+  for (std::int64_t i = 0; i < b.numel(); ++i)
+    scale = std::max(scale, std::fabs(b.data()[i]));
+  return max_abs_diff(a, b) <= atol + rtol * scale;
+}
+
+}  // namespace cortex

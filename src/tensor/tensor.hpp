@@ -1,0 +1,123 @@
+#pragma once
+// Dense row-major float tensor used by every framework in this repo
+// (Cortex-compiled code and all baselines), mirroring how the paper's
+// evaluation ran every framework on the same vendor BLAS substrate.
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace cortex {
+
+/// Shape of a dense tensor. Rank is small (<= 4 in practice).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const {
+    CORTEX_CHECK(i < dims_.size()) << "dim index " << i << " out of rank "
+                                   << dims_.size();
+    return dims_[i];
+  }
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  /// Total number of elements.
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const;
+
+ private:
+  void validate() const {
+    for (auto d : dims_)
+      CORTEX_CHECK(d >= 0) << "negative dimension in shape " << str();
+  }
+  std::vector<std::int64_t> dims_;
+};
+
+/// Dense, contiguous, row-major float32 tensor with shared ownership.
+///
+/// Copying a Tensor is cheap (shares the buffer); use clone() for a deep
+/// copy. All kernels in kernels.hpp operate on these.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates an uninitialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and zero-fills.
+  static Tensor zeros(Shape shape);
+  /// Allocates and fills with a constant.
+  static Tensor full(Shape shape, float value);
+  /// Allocates and fills uniformly in [lo, hi) from the given RNG.
+  static Tensor uniform(Shape shape, Rng& rng, float lo = -0.1f,
+                        float hi = 0.1f);
+  /// Wraps an existing vector (copies it).
+  static Tensor from_vector(Shape shape, const std::vector<float>& values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool defined() const { return static_cast<bool>(data_); }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+
+  /// Element access for 1-D and 2-D tensors (tests / small utilities only;
+  /// hot paths index raw data()).
+  float& at(std::int64_t i);
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i) const;
+  float at(std::int64_t i, std::int64_t j) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// Zero-fills in place.
+  void zero();
+
+  /// Row pointer for a 2-D (or higher, flattened-leading) tensor.
+  float* row(std::int64_t r) {
+    return data() + r * row_stride();
+  }
+  const float* row(std::int64_t r) const { return data() + r * row_stride(); }
+
+  /// Elements per leading-dimension row (product of trailing dims).
+  std::int64_t row_stride() const {
+    CORTEX_CHECK(shape_.rank() >= 1) << "row() on rank-0 tensor";
+    return shape_.numel() / (shape_.dim(0) == 0 ? 1 : shape_.dim(0));
+  }
+
+  std::string str(std::int64_t max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<float[]> data_;
+};
+
+/// Max |a-b| over two equal-shaped tensors; used by equivalence tests.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when max_abs_diff(a,b) <= atol + rtol * max|b|.
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-4f,
+              float rtol = 1e-4f);
+
+}  // namespace cortex

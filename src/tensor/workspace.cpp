@@ -1,0 +1,43 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace cortex {
+
+std::int64_t Workspace::allocate(std::int64_t bytes) {
+  CORTEX_CHECK(bytes >= 0) << "negative allocation";
+  allocations_.push_back({bytes, true});
+  live_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  total_allocated_ += bytes;
+  ++num_allocations_;
+  return static_cast<std::int64_t>(allocations_.size()) - 1;
+}
+
+void Workspace::release(std::int64_t ticket) {
+  CORTEX_CHECK(ticket >= 0 &&
+               ticket < static_cast<std::int64_t>(allocations_.size()))
+      << "bad workspace ticket " << ticket;
+  Allocation& a = allocations_[static_cast<std::size_t>(ticket)];
+  CORTEX_CHECK(a.live) << "double release of workspace ticket " << ticket;
+  a.live = false;
+  live_bytes_ -= a.bytes;
+}
+
+void Workspace::reset() {
+  allocations_.clear();
+  live_bytes_ = peak_bytes_ = total_allocated_ = num_allocations_ = 0;
+}
+
+std::string Workspace::summary() const {
+  std::ostringstream os;
+  os << "live=" << live_bytes_ << "B peak=" << peak_bytes_
+     << "B total=" << total_allocated_ << "B allocs=" << num_allocations_;
+  return os.str();
+}
+
+}  // namespace cortex

@@ -1,0 +1,52 @@
+#pragma once
+// Workspace: a bump allocator with live-bytes accounting that models a
+// framework's device ("GPU global") memory pool. Fig. 12 of the paper
+// compares peak memory across frameworks; each framework here routes its
+// intermediate-tensor allocations through a Workspace so peak usage is a
+// measured quantity, not an estimate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cortex {
+
+/// Tracks live and peak bytes for a framework's device memory pool.
+///
+/// Frameworks that keep all intermediates alive (DyNet/Cavs training-style
+/// allocation) simply never call release(); inference-style frameworks
+/// release tensors as their last consumer finishes.
+class Workspace {
+ public:
+  /// Records an allocation of `bytes`; returns an opaque ticket id.
+  std::int64_t allocate(std::int64_t bytes);
+
+  /// Records that the allocation behind `ticket` was freed.
+  void release(std::int64_t ticket);
+
+  /// Live bytes right now.
+  std::int64_t live_bytes() const { return live_bytes_; }
+  /// High-water mark of live bytes since construction / last reset.
+  std::int64_t peak_bytes() const { return peak_bytes_; }
+  /// Total bytes ever allocated (lifetime sum).
+  std::int64_t total_allocated() const { return total_allocated_; }
+  /// Number of allocate() calls.
+  std::int64_t num_allocations() const { return num_allocations_; }
+
+  void reset();
+
+  std::string summary() const;
+
+ private:
+  struct Allocation {
+    std::int64_t bytes = 0;
+    bool live = false;
+  };
+  std::vector<Allocation> allocations_;
+  std::int64_t live_bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+  std::int64_t total_allocated_ = 0;
+  std::int64_t num_allocations_ = 0;
+};
+
+}  // namespace cortex

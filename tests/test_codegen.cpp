@@ -1,0 +1,106 @@
+// C++ code generation (Fig. 2 stage 4): the emitted target code carries
+// the structures the paper shows — specialized leaf nest, variable-bound
+// batch loops, indirect accesses, single-comparison leaf checks
+// (Appendix B), global barriers, scratchpad annotations and unroll
+// pragmas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ilir/codegen_c.hpp"
+#include "ilir/passes.hpp"
+#include "lowering/lower.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cortex::ilir {
+namespace {
+
+std::string lowered_code(const models::ModelDef& def,
+                         const ra::Schedule& sched = {}) {
+  return codegen_c(lowering::lower(*def.model, sched).program);
+}
+
+TEST(Codegen, RunningExampleEmitsListing2Loops) {
+  const std::string code = lowered_code(models::make_treernn_fig1(8));
+  EXPECT_NE(code.find("void TreeRNN_fig1("), std::string::npos);
+  EXPECT_NE(code.find("for (int n_idx = 0; n_idx < num_leaves"),
+            std::string::npos);
+  EXPECT_NE(code.find("batch_length["), std::string::npos);
+  EXPECT_NE(code.find("rnn[node][i] = Emb[words[node]][i]"),
+            std::string::npos);
+  EXPECT_NE(code.find("rnn[left[node]][i]"), std::string::npos);
+  EXPECT_NE(code.find("tanh_rational"), std::string::npos);
+}
+
+TEST(Codegen, SanitizesIllegalIdentifierCharacters) {
+  const std::string code = lowered_code(models::make_mvrnn(4));
+  EXPECT_NE(code.find("void MV_RNN("), std::string::npos);
+  EXPECT_EQ(code.find("void MV-RNN("), std::string::npos);
+}
+
+TEST(Codegen, LeafCheckIsSingleComparison) {
+  // Appendix B numbering: the conditional-operator form lowers isleaf(n)
+  // to one integer comparison, not a memory load.
+  ra::Schedule sched;
+  sched.specialize_leaves = false;
+  const std::string code =
+      lowered_code(models::make_treernn_fig1(8), sched);
+  EXPECT_NE(code.find("if ((node >= first_leaf_id))"), std::string::npos);
+}
+
+TEST(Codegen, BarriersBecomeGlobalBarrierCalls) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const std::string code =
+      codegen_c(insert_barriers(lm.program, true));
+  EXPECT_NE(code.find("global_barrier();"), std::string::npos);
+}
+
+TEST(Codegen, PeeledLoopsCarryUnrollPragma) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const std::string code = codegen_c(peel_variable_loop(lm.program, 4));
+  EXPECT_NE(code.find("#pragma unroll"), std::string::npos);
+  EXPECT_NE(code.find("peeled: tail loop"), std::string::npos);
+}
+
+TEST(Codegen, SharedScopeBuffersAnnotated) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const std::string code = codegen_c(dense_index_intermediates(
+      lm.program, "node", "n_idx", "max_batch_size", {"rnn"}));
+  EXPECT_NE(code.find("[scratchpad/shared memory]"), std::string::npos);
+  EXPECT_NE(code.find("lh(max_batch_size,8)"), std::string::npos);
+}
+
+TEST(Codegen, ReductionsEmitAccumulationLoops) {
+  // matvec's sum reduction becomes an explicit accumulation loop.
+  const std::string code = lowered_code(models::make_treernn(8));
+  EXPECT_NE(code.find("float acc = 0.0f;"), std::string::npos);
+  EXPECT_NE(code.find("acc += "), std::string::npos);
+}
+
+TEST(Codegen, ChildSumEmitsCsrTraversal) {
+  const std::string code = lowered_code(models::make_dagrnn(8));
+  // Variable fan-in: child ids come from the CSR arrays.
+  EXPECT_NE(code.find("child_ids[child_offsets["), std::string::npos);
+  EXPECT_NE(code.find("child_offsets[node + 1]"), std::string::npos);
+}
+
+TEST(Codegen, BracesBalance) {
+  for (const auto& def :
+       {models::make_treernn_fig1(8), models::make_treelstm(8),
+        models::make_dagrnn(8), models::make_mvrnn(4)}) {
+    const std::string code = lowered_code(def);
+    EXPECT_EQ(std::count(code.begin(), code.end(), '{'),
+              std::count(code.begin(), code.end(), '}'))
+        << def.name;
+  }
+}
+
+}  // namespace
+}  // namespace cortex::ilir

@@ -1,0 +1,163 @@
+// Recursive data structures and workload generators: construction,
+// validation (failure injection for malformed structures), and the
+// Table-2 dataset generators.
+
+#include <gtest/gtest.h>
+
+#include "ds/dag.hpp"
+#include "ds/generators.hpp"
+#include "ds/tree.hpp"
+
+namespace cortex::ds {
+namespace {
+
+TEST(Tree, BuildAndCounts) {
+  Tree t;
+  TreeNode* a = t.make_leaf(1);
+  TreeNode* b = t.make_leaf(2);
+  TreeNode* ab = t.make_internal(a, b);
+  TreeNode* c = t.make_leaf(3);
+  t.set_root(t.make_internal(ab, c));
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_leaves(), 3);
+  EXPECT_EQ(t.num_internal(), 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Tree, RejectsNegativeWord) {
+  Tree t;
+  EXPECT_THROW(t.make_leaf(-1), Error);
+}
+
+TEST(Tree, ValidateRejectsSharedNode) {
+  Tree t;
+  TreeNode* a = t.make_leaf(1);
+  TreeNode* b = t.make_leaf(2);
+  TreeNode* ab = t.make_internal(a, b);
+  // `a` reachable via two parents: a DAG, not a tree.
+  t.set_root(t.make_internal(ab, a));
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Tree, ValidateRejectsUnreachableNodes) {
+  Tree t;
+  TreeNode* a = t.make_leaf(1);
+  t.make_leaf(2);  // orphan
+  t.set_root(a);
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Tree, ValidateRejectsMissingRoot) {
+  Tree t;
+  t.make_leaf(1);
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Dag, BuildAndQueries) {
+  Dag d(4);
+  d.add_edge(0, 2);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(1, 3);
+  EXPECT_EQ(d.num_nodes(), 4);
+  EXPECT_EQ(d.num_edges(), 4);
+  EXPECT_TRUE(d.is_leaf(0));
+  EXPECT_TRUE(d.is_leaf(1));
+  EXPECT_FALSE(d.is_leaf(2));
+  EXPECT_EQ(d.preds(3).size(), 2u);
+  EXPECT_EQ(d.succs(1).size(), 2u);
+  EXPECT_EQ(d.max_fanin(), 2);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dag, ValidateRejectsCycle) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 0);
+  EXPECT_THROW(d.validate(), Error);
+}
+
+TEST(Dag, RejectsBadNodeIds) {
+  Dag d(2);
+  EXPECT_THROW(d.add_edge(0, 5), Error);
+  EXPECT_THROW(d.word(7), Error);
+}
+
+// -- generators ----------------------------------------------------------------
+
+TEST(Generators, PerfectTreeHasExpectedShape) {
+  Rng rng(1);
+  auto t = make_perfect_tree(7, rng);
+  EXPECT_EQ(t->num_nodes(), 255);   // 2^8 - 1
+  EXPECT_EQ(t->num_leaves(), 128);  // 2^7
+  EXPECT_EQ(t->height(), 7);
+  EXPECT_NO_THROW(t->validate());
+}
+
+class ParseTreeSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ParseTreeSizes, RandomParseTreeHasRequestedLeaves) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto t = make_random_parse_tree(GetParam(), rng);
+  EXPECT_EQ(t->num_leaves(), GetParam());
+  // A binarized parse over L tokens has exactly L-1 internal nodes.
+  EXPECT_EQ(t->num_internal(), GetParam() - 1);
+  EXPECT_NO_THROW(t->validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParseTreeSizes,
+                         ::testing::Values(1, 2, 3, 5, 19, 52, 100));
+
+TEST(Generators, SstLikeBatchRespectsLengthClip) {
+  Rng rng(3);
+  auto batch = make_sst_like_batch(50, rng);
+  EXPECT_EQ(batch.size(), 50u);
+  for (const auto& t : batch) {
+    EXPECT_GE(t->num_leaves(), 3);
+    EXPECT_LE(t->num_leaves(), 52);
+  }
+}
+
+TEST(Generators, ChainTreeIsAChain) {
+  Rng rng(4);
+  auto t = make_chain_tree(10, rng);
+  EXPECT_EQ(t->num_leaves(), 10);
+  EXPECT_EQ(t->height(), 9);  // left-leaning: height = length - 1
+}
+
+TEST(Generators, GridDagHasScanEdges) {
+  Rng rng(5);
+  auto d = make_grid_dag(10, 10, rng);
+  EXPECT_EQ(d->num_nodes(), 100);
+  // (r-1,c) and (r,c-1) edges: 2*r*c - r - c.
+  EXPECT_EQ(d->num_edges(), 180);
+  EXPECT_EQ(d->max_fanin(), 2);
+  // Only (0,0) is a source.
+  std::int64_t sources = 0;
+  for (std::int64_t v = 0; v < d->num_nodes(); ++v)
+    if (d->is_leaf(v)) ++sources;
+  EXPECT_EQ(sources, 1);
+  EXPECT_NO_THROW(d->validate());
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng r1(42), r2(42);
+  auto a = make_sst_like_tree(r1);
+  auto b = make_sst_like_tree(r2);
+  EXPECT_EQ(a->num_nodes(), b->num_nodes());
+  EXPECT_EQ(a->height(), b->height());
+}
+
+TEST(Generators, StatsMatchTree) {
+  Rng rng(9);
+  auto t = make_perfect_tree(3, rng);
+  const TreeStats st = tree_stats(*t);
+  EXPECT_EQ(st.nodes, 15);
+  EXPECT_EQ(st.leaves, 8);
+  EXPECT_EQ(st.height, 3);
+}
+
+}  // namespace
+}  // namespace cortex::ds

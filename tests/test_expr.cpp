@@ -1,0 +1,104 @@
+// RA/ILIR expression AST: factories, printing, structural equality,
+// substitution and the analysis helpers lowering depends on.
+
+#include <gtest/gtest.h>
+
+#include "ra/expr.hpp"
+
+namespace cortex::ra {
+namespace {
+
+TEST(Expr, FactoriesSetKindsAndTypes) {
+  EXPECT_EQ(fimm(1.5)->kind, ExprKind::kFloatImm);
+  EXPECT_EQ(fimm(1.5)->dtype, DType::kFloat);
+  EXPECT_EQ(imm(3)->kind, ExprKind::kIntImm);
+  EXPECT_EQ(imm(3)->dtype, DType::kInt);
+  EXPECT_EQ(var("n")->kind, ExprKind::kVar);
+  EXPECT_EQ(add(imm(1), imm(2))->kind, ExprKind::kBinary);
+  EXPECT_EQ(call(CallFn::kTanh, fimm(0))->kind, ExprKind::kCall);
+  EXPECT_EQ(load("buf", {var("i")})->kind, ExprKind::kLoad);
+  EXPECT_EQ(is_leaf(var("n"))->kind, ExprKind::kIsLeaf);
+  EXPECT_EQ(child(var("n"), 0)->kind, ExprKind::kChild);
+  EXPECT_EQ(word_of(var("n"))->kind, ExprKind::kWordOf);
+  EXPECT_EQ(num_children(var("n"))->kind, ExprKind::kNumChildren);
+}
+
+TEST(Expr, ToStringReadable) {
+  const Expr e = call(CallFn::kTanh,
+                      add(load("lh", {var("n"), var("i")}),
+                          load("rh", {var("n"), var("i")})));
+  const std::string s = to_string(e);
+  EXPECT_NE(s.find("tanh"), std::string::npos);
+  EXPECT_NE(s.find("lh[n,i]"), std::string::npos);
+  EXPECT_NE(s.find("rh[n,i]"), std::string::npos);
+}
+
+TEST(Expr, StructEqual) {
+  const Expr a = add(var("x"), imm(1));
+  const Expr b = add(var("x"), imm(1));
+  const Expr c = add(var("x"), imm(2));
+  const Expr d = sub(var("x"), imm(1));
+  EXPECT_TRUE(struct_equal(a, b));
+  EXPECT_FALSE(struct_equal(a, c));
+  EXPECT_FALSE(struct_equal(a, d));
+}
+
+TEST(Expr, SubstituteReplacesVariable) {
+  const Expr e = add(var("n"), mul(var("n"), var("i")));
+  const Expr r = substitute(e, "n", var("node"));
+  EXPECT_TRUE(struct_equal(
+      r, add(var("node"), mul(var("node"), var("i")))));
+  // Original untouched (immutability).
+  EXPECT_TRUE(uses_var(e, "n"));
+}
+
+TEST(Expr, SubstituteInsideLoadIndices) {
+  const Expr e = load("ph", {child(var("n"), 0), var("i")});
+  const Expr r = substitute(e, "n", var("node"));
+  EXPECT_FALSE(uses_var(r, "n"));
+  EXPECT_TRUE(uses_var(r, "node"));
+}
+
+TEST(Expr, CollectLoadsDedupedInOrder) {
+  const Expr e = add(load("a", {var("i")}),
+                     mul(load("b", {var("i")}), load("a", {var("i")})));
+  const auto loads = collect_loads(e);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0], "a");
+  EXPECT_EQ(loads[1], "b");
+}
+
+TEST(Expr, UsesVar) {
+  const Expr e = sum("k", num_children(var("n")),
+                     load("ph", {child_at(var("n"), var("k")), var("i")}));
+  EXPECT_TRUE(uses_var(e, "n"));
+  EXPECT_TRUE(uses_var(e, "i"));
+  EXPECT_FALSE(uses_var(e, "j"));
+  // Free-variable use inside plain arithmetic.
+  EXPECT_TRUE(uses_var(add(var("x"), imm(1)), "x"));
+}
+
+TEST(Expr, HasStructureAccess) {
+  EXPECT_TRUE(has_structure_access(child(var("n"), 1)));
+  EXPECT_TRUE(has_structure_access(word_of(var("n"))));
+  EXPECT_TRUE(has_structure_access(is_leaf(var("n"))));
+  EXPECT_TRUE(has_structure_access(
+      add(fimm(1), num_children(var("n")))));
+  EXPECT_FALSE(has_structure_access(add(var("n"), imm(1))));
+  EXPECT_FALSE(has_structure_access(load("t", {var("i")})));
+}
+
+TEST(Expr, ComparisonsProduceIntDType) {
+  EXPECT_EQ(lt(var("i"), imm(4))->dtype, DType::kInt);
+  EXPECT_EQ(ge(var("i"), imm(4))->dtype, DType::kInt);
+  EXPECT_EQ(eq(var("i"), imm(4))->dtype, DType::kInt);
+}
+
+TEST(Expr, SelectHoldsThreeArgs) {
+  const Expr s = select(lt(var("i"), imm(2)), fimm(1.0), fimm(2.0));
+  EXPECT_EQ(s->kind, ExprKind::kSelect);
+  ASSERT_EQ(s->args.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cortex::ra

@@ -1,0 +1,122 @@
+// ILIR core: statement factories, printing, structural equality, the
+// tree-walking helpers every pass is built on, and buffer bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "ilir/ilir.hpp"
+
+namespace cortex::ilir {
+namespace {
+
+using ra::imm;
+using ra::var;
+
+Stmt simple_loop() {
+  return make_for("i", imm(0), imm(4),
+                  make_store("a", {var("i")}, ra::fimm(1.0)));
+}
+
+TEST(IlirCore, FactoriesSetFields) {
+  const Stmt f = make_for("i", imm(0), var("n"), simple_loop(),
+                          ForKind::kParallel, true, true, "d_batch");
+  EXPECT_EQ(f->kind, StmtKind::kFor);
+  EXPECT_EQ(f->var, "i");
+  EXPECT_EQ(f->fkind, ForKind::kParallel);
+  EXPECT_TRUE(f->carries_dependence);
+  EXPECT_TRUE(f->is_node_loop);
+  EXPECT_EQ(f->dim, "d_batch");
+
+  const Stmt l = make_let("node", ra::add(var("b"), var("i")),
+                          simple_loop(), "d_node");
+  EXPECT_EQ(l->kind, StmtKind::kLet);
+  EXPECT_EQ(l->dim, "d_node");
+
+  const Stmt s = make_store("buf", {var("i"), imm(3)}, ra::fimm(2.0));
+  EXPECT_EQ(s->kind, StmtKind::kStore);
+  EXPECT_EQ(s->buffer, "buf");
+  EXPECT_EQ(s->indices.size(), 2u);
+
+  EXPECT_EQ(make_barrier()->kind, StmtKind::kBarrier);
+  EXPECT_EQ(make_comment("x")->kind, StmtKind::kComment);
+  const Stmt i = make_if(ra::is_leaf(var("n")), simple_loop());
+  EXPECT_EQ(i->kind, StmtKind::kIf);
+  EXPECT_EQ(i->else_s, nullptr);
+}
+
+TEST(IlirCore, ToStringShowsLoopStructure) {
+  const std::string s = to_string(simple_loop());
+  EXPECT_NE(s.find("for i = 0:4"), std::string::npos);
+  EXPECT_NE(s.find("a[i] ="), std::string::npos);
+}
+
+TEST(IlirCore, StructEqualOnStatements) {
+  EXPECT_TRUE(struct_equal(simple_loop(), simple_loop()));
+  const Stmt other = make_for(
+      "i", imm(0), imm(5), make_store("a", {var("i")}, ra::fimm(1.0)));
+  EXPECT_FALSE(struct_equal(simple_loop(), other));
+  EXPECT_FALSE(struct_equal(simple_loop(), make_barrier()));
+}
+
+TEST(IlirCore, TransformRewritesBottomUp) {
+  const Stmt seq = make_seq({simple_loop(), make_barrier()});
+  // Replace every barrier with a comment.
+  const Stmt out = transform(seq, [](const Stmt& s) -> Stmt {
+    if (s->kind != StmtKind::kBarrier) return nullptr;
+    return make_comment("was a barrier");
+  });
+  std::int64_t barriers = 0, comments = 0;
+  visit(out, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kBarrier) ++barriers;
+    if (s->kind == StmtKind::kComment) ++comments;
+  });
+  EXPECT_EQ(barriers, 0);
+  EXPECT_EQ(comments, 1);
+  // Original untouched (persistent tree).
+  std::int64_t orig_barriers = 0;
+  visit(seq, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kBarrier) ++orig_barriers;
+  });
+  EXPECT_EQ(orig_barriers, 1);
+}
+
+TEST(IlirCore, VisitExprsReachesAllExpressionSites) {
+  const Stmt f = make_for(
+      "i", imm(0), var("n"),
+      make_if(ra::lt(var("i"), imm(2)),
+              make_store("a", {var("i")},
+                         ra::load("b", {var("i")}))));
+  std::int64_t vars = 0;
+  visit_exprs(f, [&](const ra::Expr& e) {
+    std::function<void(const ra::Expr&)> walk = [&](const ra::Expr& x) {
+      if (x->kind == ra::ExprKind::kVar) ++vars;
+      for (const ra::Expr& a : x->args) walk(a);
+    };
+    walk(e);
+  });
+  // n (extent), i (cond), i (store index), i (load index) — at least 4.
+  EXPECT_GE(vars, 4);
+}
+
+TEST(IlirCore, BufferConstBytes) {
+  Buffer b;
+  b.name = "t";
+  b.shape = {imm(4), imm(8)};
+  EXPECT_EQ(b.const_bytes(), 4 * 8 * 4);
+  b.shape = {var("N"), imm(8)};
+  EXPECT_EQ(b.const_bytes(), -1);  // symbolic
+}
+
+TEST(IlirCore, ProgramFindBuffer) {
+  Program p;
+  Buffer b;
+  b.name = "x";
+  b.shape = {imm(2)};
+  p.buffers.push_back(b);
+  EXPECT_NE(p.find_buffer("x"), nullptr);
+  EXPECT_EQ(p.find_buffer("y"), nullptr);
+  const Program& cp = p;
+  EXPECT_NE(cp.find_buffer("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace cortex::ilir

@@ -1,0 +1,93 @@
+// The ILIR runner harness: symbolic buffer-extent resolution against a
+// linearized structure, parameter binding, and its error handling.
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/ilir_runner.hpp"
+#include "lowering/lower.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cortex::exec {
+namespace {
+
+TEST(IlirRunner, ResolvesSymbolicExtents) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  Rng rng(1);
+  const models::ModelParams params = models::init_params(def, rng);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  auto trees = ds::make_sst_like_batch(2, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+
+  const IlirRun run = run_ilir(lm.program, lin, params);
+  // Buffers with symbolic (N, H) shapes were sized from the structure.
+  EXPECT_EQ(run.at("rnn").shape(), (Shape{lin.num_nodes, 8}));
+  EXPECT_EQ(run.at("lh").shape(), (Shape{lin.num_nodes, 8}));
+  // Parameters are bound, not allocated: not in the run's buffer map.
+  EXPECT_THROW(run.at("Emb"), Error);
+}
+
+TEST(IlirRunner, AtThrowsOnUnknownBuffer) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  Rng rng(2);
+  const models::ModelParams params = models::init_params(def, rng);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  auto trees = ds::make_sst_like_batch(1, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const IlirRun run = run_ilir(lm.program, lin, params);
+  EXPECT_THROW(run.at("nonexistent"), Error);
+}
+
+TEST(IlirRunner, UnknownExtentVariableThrows) {
+  ilir::Program p;
+  p.name = "bad_extent";
+  ilir::Buffer b;
+  b.name = "t";
+  b.shape = {ra::var("undeclared_scalar")};
+  p.buffers.push_back(b);
+  p.body = ilir::make_comment("empty");
+  linearizer::Linearized lin;
+  lin.num_nodes = 1;
+  lin.num_leaves = 1;
+  models::ModelParams none;
+  EXPECT_THROW(run_ilir(p, lin, none), Error);
+}
+
+TEST(IlirRunner, ArithmeticExtentsEvaluate) {
+  // Shapes may be arithmetic over runtime scalars (e.g. N * 2).
+  ilir::Program p;
+  p.name = "arith_extent";
+  ilir::Buffer b;
+  b.name = "t";
+  b.shape = {ra::mul(ra::var("N"), ra::imm(2))};
+  p.buffers.push_back(b);
+  p.body = ilir::make_store("t", {ra::imm(0)}, ra::fimm(3.5));
+  linearizer::Linearized lin;
+  lin.num_nodes = 5;
+  lin.num_leaves = 3;
+  lin.first_leaf_id = 2;
+  models::ModelParams none;
+  const IlirRun run = run_ilir(p, lin, none);
+  EXPECT_EQ(run.at("t").shape(), (Shape{10}));
+  EXPECT_EQ(run.at("t").at(0), 3.5f);
+}
+
+TEST(IlirRunner, CountsExecutedBarriers) {
+  ilir::Program p;
+  p.name = "barriers";
+  p.body = ilir::make_for("i", ra::imm(0), ra::imm(3),
+                          ilir::make_barrier());
+  linearizer::Linearized lin;
+  lin.num_nodes = 1;
+  lin.num_leaves = 1;
+  models::ModelParams none;
+  EXPECT_EQ(run_ilir(p, lin, none).barriers, 3);
+}
+
+}  // namespace
+}  // namespace cortex::exec

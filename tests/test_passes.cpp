@@ -1,0 +1,259 @@
+// ILIR optimization passes (§5, §A.4, §A.5): loop fusion and its
+// legality, store forwarding, dead-store elimination, barrier insertion,
+// the dense-indexing transform (Fig. 5), and loop peeling — each checked
+// structurally and, where applicable, for semantic parity through the
+// evaluator.
+
+#include <gtest/gtest.h>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/ilir_runner.hpp"
+#include "ilir/passes.hpp"
+#include "lowering/lower.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cortex::ilir {
+namespace {
+
+using ra::imm;
+using ra::var;
+
+/// for i in 0:n: buf[i] = value
+Stmt loop_store(const std::string& buf, std::int64_t n, ra::Expr value) {
+  return make_for("i", imm(0), imm(n),
+                  make_store(buf, {var("i")}, std::move(value)));
+}
+
+Program two_loop_program(ra::Expr second_value) {
+  Program p;
+  p.name = "fusion_test";
+  for (const char* name : {"a", "b", "src"}) {
+    Buffer b;
+    b.name = name;
+    b.shape = {imm(8)};
+    p.buffers.push_back(b);
+  }
+  p.body = make_seq({loop_store("a", 8, ra::load("src", {var("i")})),
+                     loop_store("b", 8, std::move(second_value))});
+  return p;
+}
+
+std::int64_t count_fors(const Stmt& s) {
+  std::int64_t n = 0;
+  visit(s, [&](const Stmt& t) {
+    if (t->kind == StmtKind::kFor) ++n;
+  });
+  return n;
+}
+
+TEST(Fusion, MergesPointwiseLoops) {
+  // b[i] = a[i] + 1 loads a at exactly the stored index: fusable.
+  Program p = two_loop_program(
+      ra::add(ra::load("a", {var("i")}), ra::fimm(1.0)));
+  EXPECT_EQ(count_fors(p.body), 2);
+  const Program fused = fuse_elementwise_loops(p);
+  EXPECT_EQ(count_fors(fused.body), 1);
+}
+
+TEST(Fusion, BlocksNonPointwiseDependence) {
+  // b[i] = a[i+1]: reading a at a shifted index across the fusion
+  // boundary would observe unwritten data — must NOT fuse.
+  Program p = two_loop_program(
+      ra::load("a", {ra::add(var("i"), imm(1))}));
+  const Program fused = fuse_elementwise_loops(p);
+  EXPECT_EQ(count_fors(fused.body), 2);
+}
+
+TEST(Fusion, BlocksDifferentLoopDomains) {
+  Program p;
+  p.name = "domains";
+  for (const char* name : {"a", "b"}) {
+    Buffer b;
+    b.name = name;
+    b.shape = {imm(8)};
+    p.buffers.push_back(b);
+  }
+  p.body = make_seq({loop_store("a", 8, ra::fimm(1.0)),
+                     loop_store("b", 4, ra::fimm(2.0))});
+  EXPECT_EQ(count_fors(fuse_elementwise_loops(p).body), 2);
+}
+
+TEST(Fusion, RunningExampleFusesItsThreeInnerLoops) {
+  // Listing 2's internal body has three same-domain i-loops (lh, rh,
+  // rnn); fusion merges them into one — the kernel-fusion effect.
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const std::int64_t before = count_fors(lm.program.body);
+  const Program fused = fuse_elementwise_loops(lm.program);
+  EXPECT_EQ(count_fors(fused.body), before - 2);
+
+  // Fusion never changes semantics.
+  Rng rng(5);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(3, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const exec::IlirRun r0 = exec::run_ilir(lm.program, lin, params);
+  const exec::IlirRun r1 = exec::run_ilir(fused, lin, params);
+  EXPECT_TRUE(allclose(r0.at("rnn"), r1.at("rnn")));
+}
+
+TEST(ForwardStores, ReplacesSameIndexLoads) {
+  // After fusion, b[i] = a[i] + 1 can read the just-stored value.
+  Program p = two_loop_program(
+      ra::add(ra::load("a", {var("i")}), ra::fimm(1.0)));
+  const Program fused = fuse_elementwise_loops(p);
+  const Program fwd = forward_stores(fused);
+  bool loads_a = false;
+  visit_exprs(fwd.body, [&](const ra::Expr& e) {
+    std::function<void(const ra::Expr&)> walk = [&](const ra::Expr& x) {
+      if (x->kind == ra::ExprKind::kLoad && x->name == "a") loads_a = true;
+      for (const ra::Expr& arg : x->args) walk(arg);
+    };
+    walk(e);
+  });
+  EXPECT_FALSE(loads_a) << "load of a should have been forwarded";
+}
+
+TEST(DeadStores, RemovesUnreadBuffersAfterForwarding) {
+  Program p = two_loop_program(
+      ra::add(ra::load("a", {var("i")}), ra::fimm(1.0)));
+  const Program pipelined =
+      eliminate_dead_stores(forward_stores(fuse_elementwise_loops(p)),
+                            {"b"});
+  // `a` is never read anymore and is not live-out: store + buffer gone.
+  bool stores_a = false;
+  visit(pipelined.body, [&](const Stmt& s) {
+    if (s->kind == StmtKind::kStore && s->buffer == "a") stores_a = true;
+  });
+  EXPECT_FALSE(stores_a);
+  EXPECT_EQ(pipelined.find_buffer("a"), nullptr);
+  EXPECT_NE(pipelined.find_buffer("b"), nullptr);
+  EXPECT_NE(pipelined.find_buffer("src"), nullptr);  // input stays
+}
+
+TEST(DeadStores, FusionPipelineShrinksRunningExampleFootprint) {
+  // The Fig. 8 effect: fuse -> forward -> DCE eliminates the lh/rh
+  // global buffers; only the output (and inputs) remain.
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  Program opt = eliminate_dead_stores(
+      forward_stores(fuse_elementwise_loops(lm.program)), {"rnn"});
+  EXPECT_EQ(opt.find_buffer("lh"), nullptr);
+  EXPECT_EQ(opt.find_buffer("rh"), nullptr);
+  ASSERT_NE(opt.find_buffer("rnn"), nullptr);
+
+  // Semantics preserved end-to-end.
+  Rng rng(6);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(2, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const exec::IlirRun r0 = exec::run_ilir(lm.program, lin, params);
+  const exec::IlirRun r1 = exec::run_ilir(opt, lin, params);
+  EXPECT_TRUE(allclose(r0.at("rnn"), r1.at("rnn")));
+}
+
+TEST(Barriers, StaticPlacementCounts) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const Program improved = insert_barriers(lm.program, true);
+  const Program conservative = insert_barriers(lm.program, false);
+  // Improved: one barrier statement, inside the dependence-carrying batch
+  // loop. Conservative: one per node loop (leaf nest + internal nest).
+  EXPECT_EQ(static_barrier_count(improved), 1);
+  EXPECT_EQ(static_barrier_count(conservative), 2);
+}
+
+TEST(DenseIndexing, MovesIntermediatesToSharedAndShrinksThem) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const Program dense = dense_index_intermediates(
+      lm.program, "node", "n_idx", "max_batch_size", {"rnn"});
+
+  // Fig. 5: lh/rh re-indexed by the dense batch iteration space, moved
+  // to scratchpad scope, leading dimension = max batch size (not N).
+  for (const char* name : {"lh", "rh"}) {
+    const Buffer* b = dense.find_buffer(name);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->scope, MemScope::kShared);
+    EXPECT_EQ(b->dims.front(), "d_batch");
+    EXPECT_EQ(b->shape.front()->kind, ra::ExprKind::kVar);
+    EXPECT_EQ(b->shape.front()->name, "max_batch_size");
+  }
+  // The recursion output stays in global memory, indexed by node.
+  EXPECT_EQ(dense.find_buffer("rnn")->scope, MemScope::kGlobal);
+
+  // Parity through the evaluator (shared buffers now sized by batch).
+  Rng rng(7);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(3, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const exec::IlirRun r0 = exec::run_ilir(lm.program, lin, params);
+  const exec::IlirRun r1 = exec::run_ilir(dense, lin, params);
+  EXPECT_TRUE(allclose(r0.at("rnn"), r1.at("rnn")));
+}
+
+TEST(Peeling, SplitsVariableLoopsAndPreservesSemantics) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  const Program peeled = peel_variable_loop(lm.program, 4);
+  const std::string s = to_string(peeled);
+  EXPECT_NE(s.find("peeled: main loop"), std::string::npos);
+  EXPECT_NE(s.find("peeled: tail loop"), std::string::npos);
+  // The main body is an unrolled inner loop.
+  bool has_unrolled = false;
+  visit(peeled.body, [&](const Stmt& t) {
+    if (t->kind == StmtKind::kFor && t->fkind == ForKind::kUnrolled)
+      has_unrolled = true;
+  });
+  EXPECT_TRUE(has_unrolled);
+
+  Rng rng(8);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(5, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const exec::IlirRun r0 = exec::run_ilir(lm.program, lin, params);
+  const exec::IlirRun r1 = exec::run_ilir(peeled, lin, params);
+  EXPECT_TRUE(allclose(r0.at("rnn"), r1.at("rnn")));
+}
+
+TEST(Peeling, RejectsTrivialFactor) {
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  EXPECT_THROW(peel_variable_loop(lm.program, 1), Error);
+}
+
+TEST(Passes, ComposedPipelineStillCorrect) {
+  // fuse -> forward -> DCE -> dense-index -> peel -> barriers: the full
+  // optimization pipeline applied in sequence stays semantics-preserving.
+  const models::ModelDef def = models::make_treernn_fig1(8);
+  const lowering::LoweredModel lm =
+      lowering::lower(*def.model, ra::Schedule{});
+  Program p = fuse_elementwise_loops(lm.program);
+  p = forward_stores(p);
+  p = eliminate_dead_stores(p, {"rnn"});
+  p = peel_variable_loop(p, 2);
+  p = insert_barriers(p, true);
+
+  Rng rng(9);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(4, rng);
+  const linearizer::Linearized lin = linearizer::linearize_trees(
+      baselines::raw(trees), lm.lin_spec);
+  const exec::IlirRun r0 = exec::run_ilir(lm.program, lin, params);
+  const exec::IlirRun r1 = exec::run_ilir(p, lin, params);
+  EXPECT_TRUE(allclose(r0.at("rnn"), r1.at("rnn")));
+}
+
+}  // namespace
+}  // namespace cortex::ilir

@@ -1,0 +1,213 @@
+// Recursive API: operator constructors (and their input validation), the
+// model graph, the P.1-P.3 property verifier (§2) and schedule
+// validation (§3.1, Appendix D).
+
+#include <gtest/gtest.h>
+
+#include "ra/model.hpp"
+#include "ra/op.hpp"
+#include "ra/schedule.hpp"
+#include "ra/verify.hpp"
+
+namespace cortex::ra {
+namespace {
+
+OpRef tiny_placeholder() { return placeholder("ph", {4}); }
+
+/// Minimal legal model: h = tanh(lh + rh), leaf = Emb lookup.
+Model tiny_model() {
+  OpRef ph = tiny_placeholder();
+  OpRef emb = input_tensor("Emb", {10, 4});
+  OpRef leaf = embed_lookup("leaf", emb, 4);
+  OpRef lh = child_read("lh", ph, 0, 4);
+  OpRef rh = child_read("rh", ph, 1, 4);
+  OpRef rec = eltwise("rec",
+                      call(CallFn::kTanh,
+                           add(load("lh", {var("n"), var("i")}),
+                               load("rh", {var("n"), var("i")}))),
+                      {lh, rh}, 4);
+  OpRef body = if_then_else("body", is_leaf(var("n")), leaf, rec);
+  return make_model("tiny", recursion_op(ph, body),
+                    linearizer::StructureKind::kTree, 2);
+}
+
+TEST(RaOps, InputTensorAndPlaceholder) {
+  OpRef w = input_tensor("W", {8, 16});
+  EXPECT_EQ(w->tag, OpTag::kInput);
+  EXPECT_EQ(w->input_shape, (std::vector<std::int64_t>{8, 16}));
+  OpRef ph = placeholder("ph", {8});
+  EXPECT_EQ(ph->tag, OpTag::kPlaceholder);
+  EXPECT_TRUE(ph->per_node());
+  EXPECT_EQ(ph->inner_elems(), 8);
+}
+
+TEST(RaOps, PlaceholderFlattensInnerShape) {
+  OpRef ph = placeholder("ph", {4, 4});
+  EXPECT_EQ(ph->inner_elems(), 16);
+}
+
+TEST(RaOps, ComputeValidatesAxesExtents) {
+  EXPECT_THROW(compute("bad", {"n", "i"}, {var("N")}, fimm(0), {}), Error);
+  EXPECT_THROW(compute("bad", {"n"}, {var("N")}, nullptr, {}), Error);
+}
+
+TEST(RaOps, EmbedLookupValidatesTable) {
+  OpRef tbl = input_tensor("T", {10, 8});
+  EXPECT_NO_THROW(embed_lookup("e", tbl, 8));
+  EXPECT_THROW(embed_lookup("e", tbl, 4), Error);  // width mismatch
+  OpRef one_d = input_tensor("T1", {10});
+  EXPECT_THROW(embed_lookup("e", one_d, 10), Error);
+}
+
+TEST(RaOps, ChildReadRequiresPlaceholder) {
+  OpRef not_ph = input_tensor("W", {4, 4});
+  EXPECT_THROW(child_read("c", not_ph, 0, 4), Error);
+  EXPECT_THROW(child_read_slice("c", tiny_placeholder(), 0, -1, 4), Error);
+}
+
+TEST(RaOps, MatvecValidatesShapes) {
+  OpRef ph = tiny_placeholder();
+  OpRef in = child_read("in", ph, 0, 4);
+  OpRef w_ok = input_tensor("W", {6, 4});
+  EXPECT_NO_THROW(matvec("mv", w_ok, in));
+  OpRef w_bad = input_tensor("Wb", {6, 5});
+  EXPECT_THROW(matvec("mv", w_bad, in), Error);
+  EXPECT_EQ(matvec("mv", w_ok, in)->inner_elems(), 6);
+}
+
+TEST(RaOps, IfThenElseValidatesBranches) {
+  OpRef a = const_init("a", 0.0, 4);
+  OpRef b = const_init("b", 0.0, 8);
+  EXPECT_THROW(if_then_else("ite", is_leaf(var("n")), a, b), Error);
+  EXPECT_THROW(if_then_else("ite", nullptr, a, a), Error);
+}
+
+TEST(RaOps, RecursionOpRequiresPlaceholder) {
+  OpRef body = const_init("c", 0.0, 4);
+  EXPECT_THROW(recursion_op(body, body), Error);
+  EXPECT_NO_THROW(recursion_op(tiny_placeholder(), body));
+}
+
+TEST(RaModel, TopoOrderProducersFirst) {
+  const Model m = tiny_model();
+  const auto ops = m.topo_ops();
+  auto pos = [&](const std::string& name) {
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      if (ops[i]->name == name) return static_cast<std::int64_t>(i);
+    return static_cast<std::int64_t>(-1);
+  };
+  EXPECT_LT(pos("Emb"), pos("leaf"));
+  EXPECT_LT(pos("ph"), pos("lh"));
+  EXPECT_LT(pos("lh"), pos("rec"));
+  EXPECT_LT(pos("rh"), pos("rec"));
+  EXPECT_GE(pos("body"), 0);
+}
+
+TEST(RaModel, WeightBytesAndStateWidth) {
+  const Model m = tiny_model();
+  EXPECT_EQ(m.state_width(), 4);
+  EXPECT_EQ(m.weight_bytes(), 10 * 4 * 4);  // one (10,4) f32 table
+  EXPECT_EQ(m.weight_ops().size(), 1u);
+}
+
+// -- property verification (P.1-P.3) -------------------------------------------
+
+TEST(Verify, AcceptsLegalModel) {
+  EXPECT_TRUE(verify_properties(tiny_model()).ok);
+}
+
+TEST(Verify, RejectsDataDependentControlFlow) {
+  // P.1: branch condition reads tensor data.
+  OpRef ph = tiny_placeholder();
+  OpRef leaf = const_init("leaf", 0.0, 4);
+  OpRef rec = child_read("lh", ph, 0, 4);
+  Expr cond = lt(load("gate", {imm(0)}), fimm(0.5));
+  OpRef body = if_then_else("body", cond, leaf, rec);
+  Model m = make_model("bad", recursion_op(ph, body),
+                       linearizer::StructureKind::kTree, 2);
+  const VerifyResult r = verify_properties(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("P.1"), std::string::npos);
+  EXPECT_THROW(verify_or_throw(m), Error);
+}
+
+TEST(Verify, RejectsSelfPlaceholderRead) {
+  // P.2: reading ph[n] consumes the node's own not-yet-computed result.
+  OpRef ph = tiny_placeholder();
+  OpRef bad = compute("bad", {"n", "i"}, {var("N"), imm(4)},
+                      load("ph", {var("n"), var("i")}), {ph});
+  Model m = make_model("bad", recursion_op(ph, bad),
+                       linearizer::StructureKind::kTree, 2);
+  const VerifyResult r = verify_properties(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("P.2"), std::string::npos);
+}
+
+TEST(Verify, RejectsGrandchildRead) {
+  // P.3: skipping a recursion level.
+  OpRef ph = tiny_placeholder();
+  OpRef bad = compute(
+      "bad", {"n", "i"}, {var("N"), imm(4)},
+      load("ph", {child(child(var("n"), 0), 1), var("i")}), {ph});
+  Model m = make_model("bad", recursion_op(ph, bad),
+                       linearizer::StructureKind::kTree, 2);
+  const VerifyResult r = verify_properties(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("P.3"), std::string::npos);
+}
+
+TEST(Verify, RejectsDataDependentChildOrdinal) {
+  OpRef ph = tiny_placeholder();
+  OpRef bad = compute(
+      "bad", {"n", "i"}, {var("N"), imm(4)},
+      load("ph", {child_at(var("n"), load("route", {var("n")})), var("i")}),
+      {ph});
+  Model m = make_model("bad", recursion_op(ph, bad),
+                       linearizer::StructureKind::kTree, 2);
+  EXPECT_FALSE(verify_properties(m).ok);
+}
+
+// -- schedule validation ---------------------------------------------------------
+
+TEST(Schedule, DagModelsRejectUnrollAndRefactor) {
+  Model m = tiny_model();
+  m.kind = linearizer::StructureKind::kDag;
+  Schedule s;
+  s.unroll_depth = 2;
+  s.persistence = false;
+  EXPECT_THROW(validate_schedule(m, s), Error);
+  Schedule s2;
+  s2.refactor = true;
+  EXPECT_THROW(validate_schedule(m, s2), Error);
+}
+
+TEST(Schedule, UnrollPrecludesPersistence) {
+  // Appendix D: register pressure.
+  const Model m = tiny_model();
+  Schedule s;
+  s.unroll_depth = 2;
+  s.persistence = true;
+  EXPECT_THROW(validate_schedule(m, s), Error);
+  s.persistence = false;
+  EXPECT_NO_THROW(validate_schedule(m, s));
+}
+
+TEST(Schedule, RejectsNonPositiveUnroll) {
+  const Model m = tiny_model();
+  Schedule s;
+  s.unroll_depth = 0;
+  EXPECT_THROW(validate_schedule(m, s), Error);
+}
+
+TEST(Schedule, PresetsMatchPaperConfigs) {
+  const Schedule cavs = Schedule::cavs_comparable();
+  EXPECT_FALSE(cavs.specialize_leaves);
+  EXPECT_EQ(cavs.fusion, FusionLevel::kMaximal);
+  const Schedule unopt = Schedule::unoptimized();
+  EXPECT_EQ(unopt.fusion, FusionLevel::kNone);
+  EXPECT_FALSE(unopt.persistence);
+  EXPECT_NE(to_string(Schedule{}).find("batch=on"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cortex::ra

@@ -1,0 +1,172 @@
+// The in-tree symbolic simplifier/prover (§A.1's Z3 stand-in): algebraic
+// rewriting, interval bounding, and the facts loop peeling relies on.
+
+#include <gtest/gtest.h>
+
+#include "ilir/simplify.hpp"
+
+namespace cortex::ilir {
+namespace {
+
+using ra::Expr;
+using ra::fimm;
+using ra::imm;
+using ra::var;
+
+TEST(Simplify, AdditiveIdentity) {
+  EXPECT_TRUE(ra::struct_equal(simplify(ra::add(var("x"), imm(0))),
+                               var("x")));
+  EXPECT_TRUE(ra::struct_equal(simplify(ra::add(imm(0), var("x"))),
+                               var("x")));
+  EXPECT_TRUE(ra::struct_equal(simplify(ra::add(var("x"), fimm(0.0))),
+                               var("x")));
+}
+
+TEST(Simplify, MultiplicativeIdentitiesAndAnnihilator) {
+  EXPECT_TRUE(ra::struct_equal(simplify(ra::mul(var("x"), imm(1))),
+                               var("x")));
+  EXPECT_TRUE(ra::struct_equal(simplify(ra::mul(imm(1), var("x"))),
+                               var("x")));
+  const Expr z = simplify(ra::mul(var("x"), imm(0)));
+  EXPECT_EQ(z->kind, ra::ExprKind::kIntImm);
+  EXPECT_EQ(z->iimm, 0);
+}
+
+TEST(Simplify, SubtractionOfEqualTerms) {
+  const Expr d = simplify(ra::sub(var("x"), var("x")));
+  EXPECT_EQ(d->kind, ra::ExprKind::kIntImm);
+  EXPECT_EQ(d->iimm, 0);
+}
+
+TEST(Simplify, ConstantFolding) {
+  const Expr e = simplify(ra::mul(ra::add(imm(2), imm(3)), imm(4)));
+  EXPECT_EQ(e->iimm, 20);
+  const Expr f = simplify(ra::div(imm(9), imm(2)));
+  EXPECT_EQ(f->iimm, 4);
+  const Expr c = simplify(ra::lt(imm(1), imm(2)));
+  EXPECT_EQ(c->iimm, 1);
+}
+
+TEST(Simplify, DivisionByZeroLeftSymbolic) {
+  const Expr e = simplify(ra::div(imm(4), imm(0)));
+  EXPECT_EQ(e->kind, ra::ExprKind::kBinary);  // not folded, not UB
+}
+
+TEST(Simplify, SelectWithConstantCondition) {
+  EXPECT_TRUE(ra::struct_equal(
+      simplify(ra::select(imm(1), var("a"), var("b"))), var("a")));
+  EXPECT_TRUE(ra::struct_equal(
+      simplify(ra::select(imm(0), var("a"), var("b"))), var("b")));
+  EXPECT_TRUE(ra::struct_equal(
+      simplify(ra::select(var("c"), var("a"), var("a"))), var("a")));
+}
+
+TEST(Simplify, MinMaxOfEqualOperands) {
+  const Expr e = ra::binary(ra::BinOp::kMin, var("x"), var("x"));
+  EXPECT_TRUE(ra::struct_equal(simplify(e), var("x")));
+}
+
+TEST(Simplify, EmptySumIsZero) {
+  const Expr s = ra::sum("k", imm(0), var("x"));
+  const Expr r = simplify(s);
+  EXPECT_EQ(r->kind, ra::ExprKind::kFloatImm);
+  EXPECT_EQ(r->fimm, 0.0);
+}
+
+TEST(Simplify, RecursesIntoSubexpressions) {
+  // (x + 0) * 1 -> x
+  const Expr e = ra::mul(ra::add(var("x"), imm(0)), imm(1));
+  EXPECT_TRUE(ra::struct_equal(simplify(e), var("x")));
+}
+
+TEST(Simplify, Idempotent) {
+  const Expr e = ra::add(ra::mul(var("x"), imm(1)),
+                         ra::sub(var("y"), imm(0)));
+  const Expr once = simplify(e);
+  const Expr twice = simplify(once);
+  EXPECT_TRUE(ra::struct_equal(once, twice));
+}
+
+// -- interval bounding -----------------------------------------------------------
+
+TEST(BoundOf, VariableRangesPropagate) {
+  VarRanges r;
+  r["i"] = Interval::range(0, 3);
+  r["j"] = Interval::range(2, 5);
+  const auto b = bound_of(ra::add(var("i"), var("j")), r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->lo, 2);
+  EXPECT_EQ(b->hi, 8);
+}
+
+TEST(BoundOf, MultiplicationCoversSignCombinations) {
+  VarRanges r;
+  r["x"] = Interval::range(-2, 3);
+  const auto b = bound_of(ra::mul(var("x"), imm(-4)), r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->lo, -12);
+  EXPECT_EQ(b->hi, 8);
+}
+
+TEST(BoundOf, UnknownVariableGivesNoBound) {
+  VarRanges r;
+  EXPECT_FALSE(bound_of(var("mystery"), r).has_value());
+}
+
+TEST(BoundOf, UninterpretedFunctionsGiveNoBound) {
+  VarRanges r;
+  r["n"] = Interval::range(0, 10);
+  EXPECT_FALSE(bound_of(ra::word_of(var("n")), r).has_value());
+  EXPECT_FALSE(bound_of(ra::load("t", {var("n")}), r).has_value());
+}
+
+TEST(BoundOf, SelectUnionsBranches) {
+  VarRanges r;
+  r["a"] = Interval::range(1, 2);
+  r["b"] = Interval::range(10, 20);
+  const auto bound =
+      bound_of(ra::select(var("c"), var("a"), var("b")), r);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->lo, 1);
+  EXPECT_EQ(bound->hi, 20);
+}
+
+// -- proving (the loop-peeling facts, §A.5) --------------------------------------
+
+TEST(Prover, PeeledMainLoopBoundCheckIsRedundant) {
+  // extent = 10, factor = 4: main trips o in [0, 10/4) = [0, 1],
+  // i in [0, 3] => o*4 + i <= 7 < 10.
+  VarRanges r;
+  r["o"] = Interval::range(0, 10 / 4 - 1);
+  r["i"] = Interval::range(0, 3);
+  const Expr idx = ra::add(ra::mul(var("o"), imm(4)), var("i"));
+  EXPECT_TRUE(can_prove_lt(idx, imm(10), r));
+  // And NOT provable against a tighter bound it can actually reach.
+  EXPECT_FALSE(can_prove_lt(idx, imm(7), r));
+}
+
+TEST(Prover, DifferenceFormHandlesSharedTerms) {
+  // x >= x holds for unbounded x via the difference form x - x = 0.
+  VarRanges empty;
+  EXPECT_TRUE(can_prove_ge(var("x"), var("x"), empty));
+  EXPECT_FALSE(can_prove_lt(var("x"), var("x"), empty));
+}
+
+TEST(Prover, CannotProveMeansFalseNotDisproved) {
+  VarRanges r;
+  r["i"] = Interval::range(0, 10);
+  // i < 5 is sometimes true, sometimes false: must not be "proved".
+  EXPECT_FALSE(can_prove_lt(var("i"), imm(5), r));
+  EXPECT_FALSE(can_prove_ge(var("i"), imm(5), r));
+}
+
+TEST(Prover, IntervalEndpointsAreInclusive) {
+  VarRanges r;
+  r["i"] = Interval::range(0, 4);
+  EXPECT_TRUE(can_prove_lt(var("i"), imm(5), r));
+  EXPECT_FALSE(can_prove_lt(var("i"), imm(4), r));
+  EXPECT_TRUE(can_prove_ge(var("i"), imm(0), r));
+}
+
+}  // namespace
+}  // namespace cortex::ilir
