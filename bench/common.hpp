@@ -4,7 +4,9 @@
 // table formatting. Every bench binary prints the same rows/series its
 // paper table or figure reports (see DESIGN.md §4 and EXPERIMENTS.md).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,23 @@
 
 namespace cortex::bench {
 
+/// True when CORTEX_BENCH_SMOKE is set (non-empty, not "0"). Smoke runs
+/// (`ctest -L smoke`) shrink batches, structure sizes and iteration counts
+/// so every binary still exercises its full code path but finishes in
+/// seconds; real measurement runs (scripts/run_benches.sh) leave it unset.
+inline bool smoke_mode() {
+  static const bool on = [] {
+    const char* v = std::getenv("CORTEX_BENCH_SMOKE");
+    const bool enabled = v != nullptr && v[0] != '\0' && std::string(v) != "0";
+    if (enabled)
+      std::fprintf(stderr,
+                   "[cortex-bench] SMOKE MODE: workloads shrunk, iters=1 — "
+                   "numbers below are not measurements\n");
+    return enabled;
+  }();
+  return on;
+}
+
 /// A Table-2 dataset instance: trees or DAGs, per the model.
 struct Workload {
   std::vector<std::unique_ptr<ds::Tree>> trees;
@@ -32,13 +51,16 @@ struct Workload {
 /// SST-like random parse trees for the treebank models.
 inline Workload make_workload(const std::string& model, std::int64_t batch,
                               Rng& rng) {
+  if (smoke_mode()) batch = std::min<std::int64_t>(batch, 2);
+  const std::int64_t height = smoke_mode() ? 4 : 7;
+  const std::int64_t grid = smoke_mode() ? 4 : 10;
   Workload w;
   if (model == "TreeFC") {
     for (std::int64_t b = 0; b < batch; ++b)
-      w.trees.push_back(ds::make_perfect_tree(7, rng));
+      w.trees.push_back(ds::make_perfect_tree(height, rng));
   } else if (model == "DAG-RNN") {
     for (std::int64_t b = 0; b < batch; ++b)
-      w.dags.push_back(ds::make_grid_dag(10, 10, rng));
+      w.dags.push_back(ds::make_grid_dag(grid, grid, rng));
   } else {
     w.trees = ds::make_sst_like_batch(batch, rng);
   }
@@ -70,7 +92,11 @@ inline std::int64_t hidden_size(const std::string& model, bool small) {
 /// averages the profiler counters; peak memory is the max across runs.
 template <typename F>
 runtime::RunResult average_runs(F&& fn, int iters = 3) {
-  (void)fn();  // warmup
+  if (smoke_mode()) {
+    iters = 1;  // smoke runs measure nothing, so skip the warmup too
+  } else {
+    (void)fn();  // warmup
+  }
   runtime::RunResult avg;
   runtime::Profiler acc;
   for (int i = 0; i < iters; ++i) {

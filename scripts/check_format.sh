@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Checks (or with --fix, rewrites) formatting of every tracked C++ file
+# against the repo's .clang-format. Exits non-zero on violations so it
+# can run as a CI step or pre-commit hook.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${CLANG_FORMAT:-}
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      CLANG_FORMAT=${candidate}
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "skip: clang-format not found (set CLANG_FORMAT to override)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+else
+  "${CLANG_FORMAT}" --dry-run -Werror "${files[@]}"
+  echo "format OK (${#files[@]} files)"
+fi

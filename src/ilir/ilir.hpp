@@ -62,9 +62,9 @@ struct StmtNode {
   StmtKind kind;
 
   // kFor
-  std::string var;
-  Expr min;
-  Expr extent;
+  std::string var{};
+  Expr min{};
+  Expr extent{};
   ForKind fkind = ForKind::kSerial;
   /// This loop iterates over dynamic batches and therefore carries the
   /// node->child data dependence (§A.4 barrier placement).
@@ -74,26 +74,26 @@ struct StmtNode {
   /// Named dimension this loop (or let-bound index) ranges over (§A.2),
   /// e.g. "d_batch", "d_all_batches", "d_hidden", "d_node". Empty when
   /// not annotated.
-  std::string dim;
-  Stmt body;
+  std::string dim{};
+  Stmt body{};
 
   // kLet
-  Expr value;  // also kStore's stored value
+  Expr value{};  // also kStore's stored value
 
   // kStore
-  std::string buffer;
-  std::vector<Expr> indices;
+  std::string buffer{};
+  std::vector<Expr> indices{};
 
   // kSeq
-  std::vector<Stmt> stmts;
+  std::vector<Stmt> stmts{};
 
   // kIf
-  Expr cond;
-  Stmt then_s;
-  Stmt else_s;
+  Expr cond{};
+  Stmt then_s{};
+  Stmt else_s{};
 
   // kComment
-  std::string text;
+  std::string text{};
 };
 
 // -- statement factories -----------------------------------------------------

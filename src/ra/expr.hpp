@@ -59,10 +59,10 @@ struct ExprNode {
 
   double fimm = 0.0;         // kFloatImm
   std::int64_t iimm = 0;     // kIntImm
-  std::string name;          // kVar: variable; kLoad: buffer; kSum: axis
+  std::string name{};        // kVar: variable; kLoad: buffer; kSum: axis
   BinOp bin = BinOp::kAdd;   // kBinary
   CallFn fn = CallFn::kTanh; // kCall
-  std::vector<Expr> args;    // operands (see factories for layout)
+  std::vector<Expr> args{};  // operands (see factories for layout)
 };
 
 // -- factories ---------------------------------------------------------------
