@@ -17,14 +17,22 @@ void run_model(const models::ModelDef& def, bool refactor) {
   Rng rng(5);
   const models::ModelParams params = models::init_params(def, rng);
 
-  std::printf("\n%s (seq len 100, hidden 256)\n", def.name.c_str());
+  // This bench builds its own chain workload (it sweeps sequence models,
+  // which make_workload does not cover), so it must shrink itself in
+  // smoke mode like make_workload-based benches do.
+  const std::int64_t seq_len = bench::smoke_mode() ? 8 : 100;
+  const std::int64_t big_batch = bench::smoke_mode() ? 2 : 10;
+
+  std::printf("\n%s (seq len %lld, hidden %lld)\n", def.name.c_str(),
+              static_cast<long long>(seq_len),
+              static_cast<long long>(def.cell.state_width));
   std::printf("%-8s %18s %24s %14s\n", "batch", "GRNN (ms)",
               "GRNN lock-based (ms)", "Cortex (ms)");
   bench::print_rule(70);
-  for (const std::int64_t b : {1ll, 10ll}) {
+  for (const std::int64_t b : {std::int64_t{1}, big_batch}) {
     std::vector<std::unique_ptr<ds::Tree>> chains;
     for (std::int64_t i = 0; i < b; ++i)
-      chains.push_back(ds::make_chain_tree(100, rng));
+      chains.push_back(ds::make_chain_tree(seq_len, rng));
     const std::vector<const ds::Tree*> raw = baselines::raw(chains);
 
     baselines::GrnnConfig lockfree{/*lock_free_barrier=*/true, refactor};
@@ -59,7 +67,8 @@ void run_model(const models::ModelDef& def, bool refactor) {
 int main() {
   std::printf("Fig. 9 reproduction: Cortex vs hand-optimized GRNN "
               "(persistent sequential RNNs)\n");
-  run_model(models::make_seq_lstm(256), /*refactor=*/false);
-  run_model(models::make_seq_gru(256), /*refactor=*/true);
+  const std::int64_t hidden = cortex::bench::smoke_mode() ? 64 : 256;
+  run_model(models::make_seq_lstm(hidden), /*refactor=*/false);
+  run_model(models::make_seq_gru(hidden), /*refactor=*/true);
   return 0;
 }

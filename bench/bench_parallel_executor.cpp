@@ -1,0 +1,75 @@
+// Host-parallel wavefront executor: thread-count sweep on the TreeLSTM
+// workload (the paper's heaviest treebank cell). For each pool size the
+// bench measures real wall time of the engine's numeric executor over the
+// same mini-batch, reports nodes/s throughput and speedup over one
+// thread, and verifies the determinism contract: root states must be
+// bit-identical to the single-thread run at every thread count.
+
+#include "common.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace cortex;
+
+int main() {
+  std::printf("Parallel wavefront executor: thread sweep, TreeLSTM\n");
+
+  const std::int64_t hidden = bench::smoke_mode() ? 32 : 256;
+  const std::int64_t batch = bench::smoke_mode() ? 2 : 32;
+  const int iters = bench::smoke_mode() ? 1 : 5;
+
+  const models::ModelDef def = models::make_treelstm_embed(hidden);
+  Rng rng(17);
+  const models::ModelParams params = models::init_params(def, rng);
+  bench::Workload w = bench::make_workload("TreeLSTM", batch, rng);
+  const std::vector<const ds::Tree*> raw = baselines::raw(w.trees);
+
+  // Linearize once: the sweep measures the executor, not the linearizer.
+  linearizer::LinearizerSpec lspec;
+  const linearizer::Linearized lin = linearizer::linearize_trees(raw, lspec);
+  std::int64_t total_nodes = 0;
+  for (const std::int32_t len : lin.batch_length) total_nodes += len;
+
+  std::printf("hidden=%lld batch=%lld nodes=%lld wavefronts=%lld "
+              "hw_threads=%d\n",
+              static_cast<long long>(hidden), static_cast<long long>(batch),
+              static_cast<long long>(total_nodes),
+              static_cast<long long>(lin.num_batches()),
+              support::ThreadPool::default_num_threads());
+  std::printf("%-8s %14s %14s %10s\n", "threads", "wall (ms)", "nodes/s",
+              "speedup");
+  bench::print_rule(52);
+
+  std::vector<int> sweep = {1, 2, 4, 8};
+  const int hw = support::ThreadPool::default_num_threads();
+  if (hw > 8) sweep.push_back(hw);
+
+  exec::CortexEngine engine(def, params, ra::Schedule{},
+                            runtime::DeviceSpec::v100_gpu());
+  std::vector<std::vector<float>> reference;
+  double t1_ms = 0.0;
+  for (const int threads : sweep) {
+    engine.set_num_threads(threads);
+    (void)engine.run_linearized(lin, 0.0);  // warmup (pool spin-up, caches)
+    double best_ms = 0.0;
+    runtime::RunResult r;
+    for (int i = 0; i < iters; ++i) {
+      const std::int64_t t0 = runtime::now_ns();
+      r = engine.run_linearized(lin, 0.0);
+      const double ms =
+          static_cast<double>(runtime::now_ns() - t0) * 1e-6;
+      if (i == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (reference.empty()) {
+      reference = r.root_states;
+      t1_ms = best_ms;
+    } else {
+      CORTEX_CHECK(r.root_states == reference)
+          << threads << "-thread run is not bit-identical to 1-thread";
+    }
+    std::printf("%-8d %14.3f %14.0f %9.2fx\n", threads, best_ms,
+                static_cast<double>(total_nodes) / (best_ms * 1e-3),
+                t1_ms / best_ms);
+  }
+  std::printf("determinism: all thread counts bit-identical to serial\n");
+  return 0;
+}

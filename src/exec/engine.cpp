@@ -10,14 +10,24 @@ namespace {
 constexpr std::int64_t kF = sizeof(float);
 
 /// Device-resident bytes of the linearizer's arrays (they are shipped to
-/// the device for the generated code to index).
+/// the device for the generated code to index), summed per array from its
+/// own element size rather than assuming a uniform width.
 std::int64_t linearized_bytes(const linearizer::Linearized& lin) {
-  const std::size_t elems = lin.left.size() + lin.right.size() +
-                            lin.word.size() + lin.height.size() +
-                            lin.child_offsets.size() + lin.child_ids.size() +
-                            lin.batch_begin.size() + lin.batch_length.size() +
-                            lin.exec_order.size();
-  return static_cast<std::int64_t>(elems) * 4;
+  const auto bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(v.size() * sizeof(v[0]));
+  };
+  return bytes(lin.left) + bytes(lin.right) + bytes(lin.word) +
+         bytes(lin.height) + bytes(lin.child_offsets) + bytes(lin.child_ids) +
+         bytes(lin.batch_begin) + bytes(lin.batch_length) +
+         bytes(lin.exec_order);
+}
+
+/// A well-formed result for a zero-node run: nothing computed, nothing
+/// accounted, only the (measured) host linearization time reported.
+runtime::RunResult empty_result(double linearization_ns) {
+  runtime::RunResult rr;
+  rr.profiler.linearization_ns = linearization_ns;
+  return rr;
 }
 }  // namespace
 
@@ -64,6 +74,7 @@ runtime::RunResult CortexEngine::run(
   CORTEX_CHECK(def_.model ? def_.model->kind != linearizer::StructureKind::kDag
                           : true)
       << "model " << def_.name << " expects DAG inputs";
+  if (trees.empty()) return empty_result(0.0);
   const linearizer::LinearizerSpec lspec =
       lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
   const std::int64_t t0 = runtime::now_ns();
@@ -81,6 +92,12 @@ runtime::RunResult CortexEngine::run(
 }
 
 runtime::RunResult CortexEngine::run(const std::vector<const ds::Dag*>& dags) {
+  // Mirror of the run(trees) guard: a tree/sequence model must not be
+  // silently linearized as a DAG (its cell assumes tree connectivity).
+  CORTEX_CHECK(def_.model ? def_.model->kind == linearizer::StructureKind::kDag
+                          : true)
+      << "model " << def_.name << " expects tree inputs, not DAGs";
+  if (dags.empty()) return empty_result(0.0);
   linearizer::LinearizerSpec lspec =
       lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
   lspec.kind = linearizer::StructureKind::kDag;
@@ -90,18 +107,66 @@ runtime::RunResult CortexEngine::run(const std::vector<const ds::Dag*>& dags) {
   return run_linearized(lin, lin_ns);
 }
 
-void CortexEngine::run_numerics(const linearizer::Linearized& lin) {
-  std::vector<const float*> kids;
-  for (const std::int32_t id : lin.exec_order) {
-    const auto i = static_cast<std::size_t>(id);
-    const std::int32_t off0 = lin.child_offsets[i];
-    const std::int32_t off1 = lin.child_offsets[i + 1];
-    kids.clear();
-    for (std::int32_t c = off0; c < off1; ++c)
-      kids.push_back(
-          states_.row(lin.child_ids[static_cast<std::size_t>(c)]));
-    cell_exec_.run_node(off0 == off1, kids, lin.word[i], states_.row(id));
+void CortexEngine::ensure_pool() {
+  if (!pool_) pool_ = std::make_unique<support::ThreadPool>();
+  if (worker_scratch_.size() !=
+      static_cast<std::size_t>(pool_->num_threads()))
+    worker_scratch_.assign(static_cast<std::size_t>(pool_->num_threads()),
+                           WorkerScratch{});
+}
+
+void CortexEngine::set_num_threads(int n) {
+  pool_ = std::make_unique<support::ThreadPool>(
+      n < 1 ? support::ThreadPool::default_num_threads() : n);
+  worker_scratch_.assign(static_cast<std::size_t>(pool_->num_threads()),
+                         WorkerScratch{});
+}
+
+void CortexEngine::run_one(const linearizer::Linearized& lin,
+                           std::int64_t id, WorkerScratch& sc) {
+  const auto n = static_cast<std::size_t>(id);
+  const std::int32_t off0 = lin.child_offsets[n];
+  const std::int32_t off1 = lin.child_offsets[n + 1];
+  sc.kids.clear();
+  for (std::int32_t c = off0; c < off1; ++c)
+    sc.kids.push_back(states_.row(lin.child_ids[static_cast<std::size_t>(c)]));
+  cell_exec_.run_node(off0 == off1, sc.kids, lin.word[n], states_.row(id),
+                      sc.regs);
+}
+
+void CortexEngine::run_numerics(const linearizer::Linearized& lin,
+                                runtime::Profiler& prof) {
+  const std::int64_t t0 = runtime::now_ns();
+
+  if (!plan_.dynamic_batching || lin.num_batches() == 0) {
+    // No wavefront structure to exploit: serial walk in topological order.
+    WorkerScratch sc;
+    for (const std::int32_t id : lin.exec_order) run_one(lin, id, sc);
+    prof.numerics_host_ns += static_cast<double>(runtime::now_ns() - t0);
+    return;
   }
+
+  // Wavefront execution: each dynamic batch is a contiguous id range of
+  // mutually independent nodes (ForKind::kParallel in the lowered ILIR),
+  // split across the pool; parallel_for's join is the inter-batch barrier
+  // (the host mirror of the §A.4 insert_barriers placement). Every node
+  // writes only its own state row and reads rows finished in earlier
+  // batches, so outputs are bit-identical at any thread count.
+  ensure_pool();
+  prof.host_threads = pool_->num_threads();
+  for (std::int64_t b = 0; b < lin.num_batches(); ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    const std::int64_t begin = lin.batch_begin[bi];
+    const std::int64_t len = lin.batch_length[bi];
+    if (pool_->num_threads() > 1 && len > 1) ++prof.parallel_batches;
+    pool_->parallel_for(
+        len, [&](int worker, std::int64_t i0, std::int64_t i1) {
+          WorkerScratch& sc =
+              worker_scratch_[static_cast<std::size_t>(worker)];
+          for (std::int64_t i = i0; i < i1; ++i) run_one(lin, begin + i, sc);
+        });
+  }
+  prof.numerics_host_ns += static_cast<double>(runtime::now_ns() - t0);
 }
 
 void CortexEngine::account_batched(const linearizer::Linearized& lin,
@@ -124,6 +189,9 @@ void CortexEngine::account_batched(const linearizer::Linearized& lin,
   if (schedule_.fusion == ra::FusionLevel::kNone)
     for (const auto& [reg, w] : def_.cell.register_widths())
       step_tmp_width += w;
+
+  // Nothing linearized, nothing to launch (run({}) / empty Linearized).
+  if (lin.num_batches() == 0) return;
 
   auto run_step = [&](const std::vector<KernelTemplate>& step,
                       std::int64_t nodes) {
@@ -211,6 +279,8 @@ void CortexEngine::account_unbatched(const linearizer::Linearized& lin,
 
 runtime::RunResult CortexEngine::run_linearized(
     const linearizer::Linearized& lin, double linearization_ns) {
+  if (lin.num_nodes == 0) return empty_result(linearization_ns);
+
   runtime::Device device(spec_);
   Workspace ws;
   device.profiler().linearization_ns = linearization_ns;
@@ -222,7 +292,7 @@ runtime::RunResult CortexEngine::run_linearized(
   const std::int64_t state_ticket = ws.allocate(n * sw * kF);
   (void)state_ticket;  // live for the whole inference
 
-  run_numerics(lin);
+  run_numerics(lin, device.profiler());
 
   if (plan_.dynamic_batching)
     account_batched(lin, device, ws);

@@ -21,6 +21,7 @@
 #include "models/model_zoo.hpp"
 #include "runtime/device.hpp"
 #include "runtime/result.hpp"
+#include "support/thread_pool.hpp"
 #include "tensor/workspace.hpp"
 
 namespace cortex::exec {
@@ -41,8 +42,20 @@ class CortexEngine {
 
   /// Runs over an already-linearized structure; `linearization_ns` is the
   /// host time the caller spent linearizing (0 when amortized/cached).
+  /// An empty linearization (num_nodes == 0) yields an empty RunResult.
   runtime::RunResult run_linearized(const linearizer::Linearized& lin,
                                     double linearization_ns);
+
+  /// Host threads the numeric wavefront executor uses. Defaults to
+  /// CORTEX_THREADS / hardware_concurrency (ThreadPool::default_num_threads)
+  /// on first use; n < 1 resets to that default. Outputs are bit-identical
+  /// at every thread count: nodes within a wavefront batch are independent
+  /// by construction and each writes only its own state row.
+  void set_num_threads(int n);
+  int num_threads() const {
+    return pool_ ? pool_->num_threads()
+                 : support::ThreadPool::default_num_threads();
+  }
 
   const Plan& plan() const { return plan_; }
   const ra::Schedule& schedule() const { return schedule_; }
@@ -63,7 +76,23 @@ class CortexEngine {
   const Tensor& last_states() const { return states_; }
 
  private:
-  void run_numerics(const linearizer::Linearized& lin);
+  /// Per-worker mutable state for the numeric executor: cell scratch
+  /// registers plus the gathered child-state pointers.
+  struct WorkerScratch {
+    models::CellExecutor::Scratch regs;
+    std::vector<const float*> kids;
+  };
+
+  void run_numerics(const linearizer::Linearized& lin,
+                    runtime::Profiler& prof);
+  /// Executes one node's cell program into its state row — the single
+  /// per-node body shared by the serial and parallel paths, so they can
+  /// never diverge numerically.
+  void run_one(const linearizer::Linearized& lin, std::int64_t id,
+               WorkerScratch& sc);
+  /// Lazily builds the pool (and per-worker scratch) on first parallel use
+  /// so plan-only engines never spawn threads.
+  void ensure_pool();
   void account_batched(const linearizer::Linearized& lin,
                        runtime::Device& device, Workspace& ws);
   void account_unbatched(const linearizer::Linearized& lin,
@@ -78,6 +107,8 @@ class CortexEngine {
   std::optional<ilir::Program> optimized_;
   models::CellExecutor cell_exec_;
   Tensor states_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<WorkerScratch> worker_scratch_;
 };
 
 }  // namespace cortex::exec

@@ -422,22 +422,31 @@ CellExecutor::CellExecutor(const CellProgram& cell, const ModelParams& params)
 void CellExecutor::run_ops(const std::vector<CellOp>& ops,
                            const std::vector<CompiledEltwise>& compiled,
                            const std::vector<const float*>& child_states,
-                           std::int32_t word, float* out_state) {
+                           std::int32_t word, float* out_state,
+                           Scratch& scratch) const {
   for (std::size_t k = 0; k < ops.size(); ++k)
     exec_op(ops[k],
             ops[k].kind == CellOpKind::kEltwise ? &compiled[k] : nullptr,
-            params_, child_states, word, regs_, out_state,
+            params_, child_states, word, scratch, out_state,
             cell_.state_width, k + 1 == ops.size());
 }
 
 void CellExecutor::run_node(bool leaf,
                             const std::vector<const float*>& child_states,
                             std::int32_t word, float* out_state) {
+  run_node(leaf, child_states, word, out_state, regs_);
+}
+
+void CellExecutor::run_node(bool leaf,
+                            const std::vector<const float*>& child_states,
+                            std::int32_t word, float* out_state,
+                            Scratch& scratch) const {
   if (leaf && !cell_.leaf_ops.empty())
-    run_ops(cell_.leaf_ops, leaf_compiled_, child_states, word, out_state);
+    run_ops(cell_.leaf_ops, leaf_compiled_, child_states, word, out_state,
+            scratch);
   else
     run_ops(cell_.internal_ops, internal_compiled_, child_states, word,
-            out_state);
+            out_state, scratch);
 }
 
 }  // namespace cortex::models

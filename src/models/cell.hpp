@@ -142,13 +142,26 @@ void run_cell_node(const std::vector<CellOp>& ops, const ModelParams& params,
                    float* out_state, std::int64_t state_width);
 
 /// Pre-compiled eltwise cache for hot loops (keyed by op pointer).
+///
+/// After construction the executor is read-only, so any number of threads
+/// may call the Scratch-taking run_node overload concurrently as long as
+/// each thread passes its own Scratch (the parallel wavefront executor
+/// keeps one per pool worker). The scratch-free overload uses a built-in
+/// Scratch and is therefore single-threaded.
 class CellExecutor {
  public:
+  /// Scratch registers for one in-flight run_node call (register name ->
+  /// buffer of its width). Reused across calls to amortize allocation.
+  using Scratch = std::map<std::string, std::vector<float>>;
+
   CellExecutor(const CellProgram& cell, const ModelParams& params);
 
   /// As run_cell_node, but with preallocated registers + compiled eltwise.
   void run_node(bool leaf, const std::vector<const float*>& child_states,
                 std::int32_t word, float* out_state);
+  /// Thread-safe variant: all mutable state lives in `scratch`.
+  void run_node(bool leaf, const std::vector<const float*>& child_states,
+                std::int32_t word, float* out_state, Scratch& scratch) const;
 
   const CellProgram& cell() const { return cell_; }
   const ModelParams& params() const { return params_; }
@@ -157,13 +170,13 @@ class CellExecutor {
   void run_ops(const std::vector<CellOp>& ops,
                const std::vector<CompiledEltwise>& compiled,
                const std::vector<const float*>& child_states,
-               std::int32_t word, float* out_state);
+               std::int32_t word, float* out_state, Scratch& scratch) const;
 
   const CellProgram& cell_;
   const ModelParams& params_;
   std::vector<CompiledEltwise> leaf_compiled_;
   std::vector<CompiledEltwise> internal_compiled_;
-  std::map<std::string, std::vector<float>> regs_;
+  Scratch regs_;
 };
 
 }  // namespace cortex::models

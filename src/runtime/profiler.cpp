@@ -1,5 +1,6 @@
 #include "runtime/profiler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -26,6 +27,10 @@ void Profiler::accumulate(const Profiler& o) {
   mem_mgmt_host_ns += o.mem_mgmt_host_ns;
   linearization_ns += o.linearization_ns;
   host_other_ns += o.host_other_ns;
+  // host_threads is a configuration, not an accumulating counter.
+  host_threads = std::max(host_threads, o.host_threads);
+  parallel_batches += o.parallel_batches;
+  numerics_host_ns += o.numerics_host_ns;
 }
 
 void Profiler::scale(double f) {
@@ -43,6 +48,8 @@ void Profiler::scale(double f) {
   mem_mgmt_host_ns *= f;
   linearization_ns *= f;
   host_other_ns *= f;
+  parallel_batches = static_cast<std::int64_t>(parallel_batches * f);
+  numerics_host_ns *= f;
 }
 
 std::string Profiler::str() const {
@@ -54,7 +61,8 @@ std::string Profiler::str() const {
      << " memcpy_dev=" << device_memcpy_ns * 1e-6 << "ms"
      << " compute=" << device_compute_ns * 1e-6 << "ms"
      << " kernels=" << kernel_launches << " api=" << host_api_ns * 1e-6
-     << "ms total=" << total_latency_ms() << "ms";
+     << "ms host_threads=" << host_threads
+     << " total=" << total_latency_ms() << "ms";
   return os.str();
 }
 

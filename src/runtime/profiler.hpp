@@ -32,6 +32,17 @@ struct Profiler {
   double linearization_ns = 0.0;       ///< Cortex data-structure linearizer
   double host_other_ns = 0.0;          ///< remaining host framework code
 
+  // -- host parallelism (wavefront executor) --------------------------------
+  /// Pool threads the numeric wavefront executor ran with (1 = serial).
+  std::int64_t host_threads = 1;
+  /// Wavefront batches dispatched across more than one thread.
+  std::int64_t parallel_batches = 0;
+  /// Host wall time inside the numeric executor. Diagnostic only — not
+  /// part of total_latency_ns(), because the host numerics stand in for
+  /// the modeled device's work, which device_compute_ns already accounts
+  /// (DESIGN.md §2's GPU substitution).
+  double numerics_host_ns = 0.0;
+
   void reset() { *this = Profiler{}; }
 
   /// End-to-end modeled inference latency: host framework work + host API

@@ -14,6 +14,26 @@
 #include "exec/engine.hpp"
 #include "models/model_zoo.hpp"
 
+// Sanitizer instrumentation inflates the *measured* host-side phases
+// (graph construction, dynamic batching) by an order of magnitude while
+// leaving the *modeled* device times untouched, so tests asserting ratios
+// between the two are meaningless under sanitizers and skip themselves.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CORTEX_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CORTEX_SANITIZED 1
+#endif
+#endif
+
+#ifdef CORTEX_SANITIZED
+#define CORTEX_SKIP_TIMING_RATIOS_UNDER_SANITIZERS()                         \
+  GTEST_SKIP() << "measured-vs-modeled timing ratios are distorted by "      \
+                  "sanitizer instrumentation"
+#else
+#define CORTEX_SKIP_TIMING_RATIOS_UNDER_SANITIZERS() (void)0
+#endif
+
 namespace cortex {
 namespace {
 
@@ -86,6 +106,7 @@ TEST(PaperShapes, Table4CortexBeatsCavsAndGapShrinksWithHidden) {
 }
 
 TEST(PaperShapes, Table5BackendOrderingGpuIntelArm) {
+  CORTEX_SKIP_TIMING_RATIOS_UNDER_SANITIZERS();
   Rng rng(4);
   auto trees = ds::make_sst_like_batch(10, rng);
   const auto batch = baselines::raw(trees);
@@ -106,6 +127,7 @@ TEST(PaperShapes, Table5BackendOrderingGpuIntelArm) {
 }
 
 TEST(PaperShapes, Fig7OverheadsDominateSmallHiddenSizes) {
+  CORTEX_SKIP_TIMING_RATIOS_UNDER_SANITIZERS();
   Rng rng(5);
   auto trees = ds::make_sst_like_batch(10, rng);
   const auto batch = baselines::raw(trees);
