@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "ilir/passes.hpp"
+#include "exec/plan_cache.hpp"
 
 namespace cortex::exec {
 
@@ -29,6 +29,25 @@ runtime::RunResult empty_result(double linearization_ns) {
   rr.profiler.linearization_ns = linearization_ns;
   return rr;
 }
+
+/// Compile-once-run-everywhere: a warm cache hit shares the verified/
+/// lowered/planned artifacts of an earlier engine with a structurally
+/// identical (model, schedule, device) triple; a cold miss compiles via
+/// compile_artifacts (which throws on P.1-P.3 or schedule violations —
+/// failures are never cached). With the cache disabled the (multi-KB)
+/// fingerprint is never built: compile directly. The enabled() check is
+/// advisory — get_or_compile re-checks under its own lock.
+ArtifactsPtr obtain_artifacts(const models::ModelDef& def,
+                              const ra::Schedule& schedule,
+                              const runtime::DeviceSpec& spec) {
+  PlanCache& cache = PlanCache::instance();
+  if (!cache.enabled())
+    return std::make_shared<const CompiledArtifacts>(
+        compile_artifacts(def, schedule, spec));
+  return cache.get_or_compile(
+      PlanCache::key_for(def, schedule, spec),
+      [&] { return compile_artifacts(def, schedule, spec); });
+}
 }  // namespace
 
 CortexEngine::CortexEngine(const models::ModelDef& def,
@@ -38,36 +57,8 @@ CortexEngine::CortexEngine(const models::ModelDef& def,
       params_(params),
       schedule_(schedule),
       spec_(std::move(spec)),
-      plan_(build_plan(def, schedule, spec_)),
-      cell_exec_(def.cell, params) {
-  def_.cell.validate();
-  if (def_.model) {
-    // lower() verifies P.1-P.3 and validates the schedule against the
-    // model; the lowered program is the compiler's ILIR artifact.
-    lowered_ = lowering::lower(*def_.model, schedule_);
-    // Apply the schedule's ILIR-level optimizations to produce the
-    // target program (what codegen_c would emit for the device).
-    ilir::Program p = lowered_->program;
-    const std::vector<std::string> live_out = {lowered_->output};
-    if (schedule_.fusion == ra::FusionLevel::kMaximal) {
-      p = ilir::fuse_elementwise_loops(p);
-      p = ilir::forward_stores(p);
-      p = ilir::eliminate_dead_stores(p, live_out);
-    }
-    if (schedule_.dense_intermediates && schedule_.dynamic_batching)
-      p = ilir::dense_index_intermediates(p, "node", "n_idx",
-                                          "max_batch_size", live_out);
-    if (schedule_.loop_peeling && schedule_.dynamic_batching)
-      p = ilir::peel_variable_loop(p, 4);
-    p = ilir::insert_barriers(p, schedule_.improved_barrier_placement);
-    optimized_ = std::move(p);
-  } else {
-    // Cell-only models (the sequential Fig. 9 cells) still respect the
-    // Appendix-D register-pressure constraint.
-    CORTEX_CHECK(!(schedule_.unroll_depth > 1 && schedule_.persistence))
-        << "unrolling precludes persistence (Appendix D)";
-  }
-}
+      artifacts_(obtain_artifacts(def, schedule_, spec_)),
+      cell_exec_(def.cell, params) {}
 
 runtime::RunResult CortexEngine::run(
     const std::vector<const ds::Tree*>& trees) {
@@ -76,7 +67,7 @@ runtime::RunResult CortexEngine::run(
       << "model " << def_.name << " expects DAG inputs";
   if (trees.empty()) return empty_result(0.0);
   const linearizer::LinearizerSpec lspec =
-      lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
+      lowered() ? lowered()->lin_spec : linearizer::LinearizerSpec{};
   const std::int64_t t0 = runtime::now_ns();
   const linearizer::Linearized lin = linearizer::linearize_trees(trees, lspec);
   const double lin_ns = static_cast<double>(runtime::now_ns() - t0);
@@ -99,7 +90,7 @@ runtime::RunResult CortexEngine::run(const std::vector<const ds::Dag*>& dags) {
       << "model " << def_.name << " expects tree inputs, not DAGs";
   if (dags.empty()) return empty_result(0.0);
   linearizer::LinearizerSpec lspec =
-      lowered_ ? lowered_->lin_spec : linearizer::LinearizerSpec{};
+      lowered() ? lowered()->lin_spec : linearizer::LinearizerSpec{};
   lspec.kind = linearizer::StructureKind::kDag;
   const std::int64_t t0 = runtime::now_ns();
   const linearizer::Linearized lin = linearizer::linearize_dags(dags, lspec);
@@ -138,7 +129,7 @@ void CortexEngine::run_numerics(const linearizer::Linearized& lin,
                                 runtime::Profiler& prof) {
   const std::int64_t t0 = runtime::now_ns();
 
-  if (!plan_.dynamic_batching || lin.num_batches() == 0) {
+  if (!plan().dynamic_batching || lin.num_batches() == 0) {
     // No wavefront structure to exploit: serial walk in topological order.
     WorkerScratch sc;
     for (const std::int32_t id : lin.exec_order) run_one(lin, id, sc);
@@ -172,8 +163,8 @@ void CortexEngine::run_numerics(const linearizer::Linearized& lin,
 void CortexEngine::account_batched(const linearizer::Linearized& lin,
                                    runtime::Device& device, Workspace& ws) {
   runtime::Profiler& prof = device.profiler();
-  const bool mega = plan_.megakernel;
-  const std::int64_t d = plan_.unroll_depth;
+  const bool mega = plan().megakernel;
+  const std::int64_t d = plan().unroll_depth;
   bool weights_charged = false;
 
   if (mega) {
@@ -204,9 +195,9 @@ void CortexEngine::account_batched(const linearizer::Linearized& lin,
       k.bytes_read = t.bytes_read_per_node * nodes;
       k.bytes_written = t.bytes_written_per_node * nodes;
       k.parallelism = nodes * std::max<std::int64_t>(t.width, 1);
-      if (plan_.persistent) {
+      if (plan().persistent) {
         if (!weights_charged) {
-          k.bytes_weights += plan_.persisted_weight_bytes;
+          k.bytes_weights += plan().persisted_weight_bytes;
           weights_charged = true;
         }
       } else {
@@ -225,7 +216,7 @@ void CortexEngine::account_batched(const linearizer::Linearized& lin,
   };
 
   // Batch 0: the leaf batch (or the source wavefront for DAGs).
-  run_step(plan_.leaf_step, lin.batch_length.front());
+  run_step(plan().leaf_step, lin.batch_length.front());
 
   // Internal batches, grouped by the unroll depth: an unrolled schedule
   // covers `d` consecutive height levels per kernel instance (Fig. 3).
@@ -240,13 +231,13 @@ void CortexEngine::account_batched(const linearizer::Linearized& lin,
       // thread block for free; a batched global schedule needs extra
       // device-wide barriers per unrolled level and cannot amortize them
       // across the batch (Fig. 11).
-      std::int64_t barriers = plan_.sync_points_per_step;
-      if (d > 1) barriers = plan_.block_local ? plan_.sync_points_per_step
+      std::int64_t barriers = plan().sync_points_per_step;
+      if (d > 1) barriers = plan().block_local ? plan().sync_points_per_step
                                               : 2 * d * barriers;
       for (std::int64_t k = 0; k < barriers; ++k)
-        device.barrier(plan_.lock_free_barrier);
+        device.barrier(plan().lock_free_barrier);
     }
-    run_step(plan_.internal_step, nodes);
+    run_step(plan().internal_step, nodes);
   }
 }
 
@@ -263,7 +254,7 @@ void CortexEngine::account_unbatched(const linearizer::Linearized& lin,
 
   for (const std::int32_t id : lin.exec_order) {
     const bool leaf = lin.is_leaf(id);
-    const auto& step = leaf ? plan_.leaf_step : plan_.internal_step;
+    const auto& step = leaf ? plan().leaf_step : plan().internal_step;
     for (const KernelTemplate& t : step) {
       runtime::KernelDesc k;
       k.flops = t.flops_per_node;
@@ -294,7 +285,7 @@ runtime::RunResult CortexEngine::run_linearized(
 
   run_numerics(lin, device.profiler());
 
-  if (plan_.dynamic_batching)
+  if (plan().dynamic_batching)
     account_batched(lin, device, ws);
   else
     account_unbatched(lin, device, ws);

@@ -1,10 +1,14 @@
 #pragma once
 // CortexEngine: the end-to-end execution engine for Cortex-compiled models.
 //
-// Compilation happens at construction: the RA model is verified (P.1-P.3),
-// the schedule validated, the model lowered to ILIR (kept for inspection,
-// golden tests and the reference evaluator), and the kernel-launch plan
-// built (plan.hpp). At run time the engine:
+// Compilation happens at construction — through the process-wide
+// PlanCache (plan_cache.hpp). On a cold miss the RA model is verified
+// (P.1-P.3), the schedule validated, the model lowered to ILIR (kept for
+// inspection, golden tests and the reference evaluator), and the
+// kernel-launch plan built (plan.hpp); on a warm hit every engine
+// constructed for a structurally identical (model, schedule, device)
+// triple shares the same immutable artifacts and skips all of that.
+// At run time the engine:
 //   1. linearizes the input structures on the host CPU (§4.2, timed),
 //   2. executes the model numerics bottom-up over the linearized arrays
 //      (the exact semantics every baseline shares, so outputs are
@@ -16,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/artifacts.hpp"
 #include "exec/plan.hpp"
 #include "lowering/lower.hpp"
 #include "models/model_zoo.hpp"
@@ -57,11 +62,11 @@ class CortexEngine {
                  : support::ThreadPool::default_num_threads();
   }
 
-  const Plan& plan() const { return plan_; }
+  const Plan& plan() const { return artifacts_->plan; }
   const ra::Schedule& schedule() const { return schedule_; }
   /// Lowered ILIR artifacts; nullptr for cell-only models (no RA def).
   const lowering::LoweredModel* lowered() const {
-    return lowered_ ? &*lowered_ : nullptr;
+    return artifacts_->lowered ? &*artifacts_->lowered : nullptr;
   }
   /// The ILIR after the schedule's optimization passes: operator fusion +
   /// store forwarding + dead-store elimination (maximal fusion), dense
@@ -70,8 +75,13 @@ class CortexEngine {
   /// the target kernel; tests hold it to the reference evaluator and to
   /// the engine's own barrier accounting. Null for cell-only models.
   const ilir::Program* optimized_program() const {
-    return optimized_ ? &*optimized_ : nullptr;
+    return artifacts_->optimized ? &*artifacts_->optimized : nullptr;
   }
+  /// The compiled artifacts backing this engine. Engines constructed for
+  /// structurally identical (model, schedule, device) triples share one
+  /// object (pointer-equal) while the plan cache is enabled; the pointer
+  /// stays valid even if the cache entry is evicted.
+  const ArtifactsPtr& artifacts() const { return artifacts_; }
   /// All node states (N, state_width) from the most recent run.
   const Tensor& last_states() const { return states_; }
 
@@ -102,9 +112,7 @@ class CortexEngine {
   const models::ModelParams& params_;
   ra::Schedule schedule_;
   runtime::DeviceSpec spec_;
-  Plan plan_;
-  std::optional<lowering::LoweredModel> lowered_;
-  std::optional<ilir::Program> optimized_;
+  ArtifactsPtr artifacts_;
   models::CellExecutor cell_exec_;
   Tensor states_;
   std::unique_ptr<support::ThreadPool> pool_;

@@ -270,6 +270,30 @@ void CellProgram::validate() const {
   }
 }
 
+void fingerprint(const CellOp& op, support::FingerprintBuilder& fb) {
+  fb.tag('c');
+  fb.add(static_cast<std::int64_t>(op.kind));
+  fb.add(op.out);
+  fb.add(op.width);
+  fb.add(op.child);
+  fb.add(op.offset);
+  fb.add(op.constant);
+  fb.add(op.param);
+  fb.add(static_cast<std::int64_t>(op.ins.size()));
+  for (const std::string& in : op.ins) fb.add(in);
+  ra::fingerprint(op.expr, fb);
+}
+
+void fingerprint(const CellProgram& cell, support::FingerprintBuilder& fb) {
+  fb.tag('C');
+  fb.add(cell.state_width);
+  fb.add(cell.num_children);
+  fb.add(static_cast<std::int64_t>(cell.leaf_ops.size()));
+  for (const CellOp& op : cell.leaf_ops) fingerprint(op, fb);
+  fb.add(static_cast<std::int64_t>(cell.internal_ops.size()));
+  for (const CellOp& op : cell.internal_ops) fingerprint(op, fb);
+}
+
 // ---------------------------------------------------------------------------
 // ModelParams
 // ---------------------------------------------------------------------------

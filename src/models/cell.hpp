@@ -122,6 +122,15 @@ struct CellProgram {
   void validate() const;
 };
 
+/// Appends a canonical structural encoding of one cell operator (every
+/// field, including the compiled-away eltwise expression AST).
+void fingerprint(const CellOp& op, support::FingerprintBuilder& fb);
+
+/// Appends a canonical structural encoding of a cell program: leaf and
+/// internal op sequences (order-sensitive — op order is execution order),
+/// state width and child count.
+void fingerprint(const CellProgram& cell, support::FingerprintBuilder& fb);
+
 /// Model weights: named tensors keyed by parameter name.
 struct ModelParams {
   std::map<std::string, Tensor> tensors;

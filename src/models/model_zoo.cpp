@@ -1,5 +1,6 @@
 #include "models/model_zoo.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ra/op.hpp"
@@ -844,6 +845,30 @@ ModelDef make_seq_gru(std::int64_t h, std::int64_t vocab) {
                                linearizer::StructureKind::kTree, 2);
   }
   return def;
+}
+
+void fingerprint(const ModelDef& def, support::FingerprintBuilder& fb) {
+  fb.tag('D');
+  fb.add(def.name);
+  fb.add(def.hidden);
+  fb.add(def.vocab);
+  fb.add(def.sync_points_per_step);
+  fb.add(def.refactor_extra_bytes_per_node);
+  fb.add(def.block_local_schedule);
+  fingerprint(def.cell, fb);
+  fb.add(def.model.has_value());
+  if (def.model) ra::fingerprint(*def.model, fb);
+  // param_shapes is a keyed lookup table: canonicalize by name so entry
+  // order is not part of the key (see the header's field-sensitivity doc).
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> shapes =
+      def.param_shapes;
+  std::sort(shapes.begin(), shapes.end());
+  fb.add(static_cast<std::int64_t>(shapes.size()));
+  for (const auto& [name, shape] : shapes) {
+    fb.add(name);
+    fb.add(static_cast<std::int64_t>(shape.size()));
+    for (const std::int64_t d : shape) fb.add(d);
+  }
 }
 
 }  // namespace cortex::models

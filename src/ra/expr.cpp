@@ -218,6 +218,44 @@ bool struct_equal(const Expr& a, const Expr& b) {
   return true;
 }
 
+void fingerprint(const Expr& e, support::FingerprintBuilder& fb) {
+  if (!e) {
+    fb.tag('0');
+    return;
+  }
+  // Only the payload fields the kind actually uses are encoded — the
+  // packed kind/dtype byte discriminates which follow, so the encoding
+  // stays injective for factory-built expressions (factories
+  // zero-initialize unused fields). This is the hot loop of plan-cache
+  // key construction; keep it lean.
+  fb.tag('E');
+  fb.small(static_cast<std::uint8_t>((static_cast<int>(e->kind) << 1) |
+                                     static_cast<int>(e->dtype)));
+  switch (e->kind) {
+    case ExprKind::kFloatImm:
+      fb.add(e->fimm);
+      break;
+    case ExprKind::kIntImm:
+      fb.add(e->iimm);
+      break;
+    case ExprKind::kVar:
+    case ExprKind::kLoad:
+    case ExprKind::kSum:
+      fb.add_short(e->name);
+      break;
+    case ExprKind::kBinary:
+      fb.small(static_cast<std::uint8_t>(e->bin));
+      break;
+    case ExprKind::kCall:
+      fb.small(static_cast<std::uint8_t>(e->fn));
+      break;
+    default:
+      break;  // structure accessors / select carry only args
+  }
+  fb.count(e->args.size());
+  for (const Expr& a : e->args) fingerprint(a, fb);
+}
+
 Expr substitute(const Expr& e, const std::string& name,
                 const Expr& replacement) {
   CORTEX_CHECK(e != nullptr) << "substitute(null)";

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "support/fingerprint.hpp"
 #include "support/logging.hpp"
 
 namespace cortex::ra {
@@ -103,6 +104,12 @@ std::string to_string(const Expr& e);
 
 /// True if the two expressions are structurally identical.
 bool struct_equal(const Expr& a, const Expr& b);
+
+/// Appends a canonical structural encoding of `e` (kind, dtype, payload,
+/// operands, recursively). Consistent with struct_equal: structurally
+/// equal expressions encode identically regardless of subexpression
+/// sharing, and any structural difference changes the encoding.
+void fingerprint(const Expr& e, support::FingerprintBuilder& fb);
 
 /// Substitutes occurrences of variable `name` with `replacement`.
 Expr substitute(const Expr& e, const std::string& name,

@@ -47,6 +47,14 @@ std::int64_t Model::weight_bytes() const {
   return bytes;
 }
 
+void fingerprint(const Model& m, support::FingerprintBuilder& fb) {
+  fb.tag('M');
+  fb.add(m.name);
+  fb.add(static_cast<std::int64_t>(m.kind));
+  fb.add(m.max_children);
+  fingerprint(m.recursion, fb);
+}
+
 Model make_model(std::string name, OpRef recursion,
                  linearizer::StructureKind kind, std::int64_t max_children) {
   CORTEX_CHECK(recursion && recursion->tag == OpTag::kRecursion)

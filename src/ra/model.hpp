@@ -42,4 +42,10 @@ Model make_model(std::string name, OpRef recursion,
                  linearizer::StructureKind kind,
                  std::int64_t max_children = 2);
 
+/// Appends a canonical structural encoding of the model: name, structure
+/// kind, max_children, and the full operator DAG (ra::fingerprint(OpRef)).
+/// Structurally identical models built by separate factory calls encode
+/// identically — the property the plan cache relies on.
+void fingerprint(const Model& m, support::FingerprintBuilder& fb);
+
 }  // namespace cortex::ra

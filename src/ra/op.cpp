@@ -1,6 +1,7 @@
 #include "ra/op.hpp"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace cortex::ra {
 
@@ -191,6 +192,48 @@ std::string to_string(const OpRef& op) {
            op->recursion_body->name + ")";
   os << " = " << to_string(op->body);
   return os.str();
+}
+
+namespace {
+void fingerprint_op(const OpRef& op,
+                    std::unordered_map<const Op*, std::int64_t>& ids,
+                    support::FingerprintBuilder& fb) {
+  if (!op) {
+    fb.tag('0');
+    return;
+  }
+  const auto it = ids.find(op.get());
+  if (it != ids.end()) {
+    // Back-reference: the same operator object, by first-visit number.
+    fb.tag('R');
+    fb.add(it->second);
+    return;
+  }
+  ids.emplace(op.get(), static_cast<std::int64_t>(ids.size()));
+  fb.tag('O');
+  fb.small(static_cast<std::uint8_t>(op->tag));
+  fb.small(static_cast<std::uint8_t>(op->pattern));
+  fb.add_short(op->name);
+  fb.count(op->axes.size());
+  for (const std::string& a : op->axes) fb.add_short(a);
+  fb.count(op->extents.size());
+  for (const Expr& e : op->extents) fingerprint(e, fb);
+  fingerprint(op->body, fb);
+  fb.count(op->input_shape.size());
+  for (const std::int64_t d : op->input_shape) fb.add(d);
+  fingerprint(op->cond, fb);
+  fingerprint_op(op->then_op, ids, fb);
+  fingerprint_op(op->else_op, ids, fb);
+  fingerprint_op(op->placeholder, ids, fb);
+  fingerprint_op(op->recursion_body, ids, fb);
+  fb.count(op->inputs.size());
+  for (const OpRef& in : op->inputs) fingerprint_op(in, ids, fb);
+}
+}  // namespace
+
+void fingerprint(const OpRef& op, support::FingerprintBuilder& fb) {
+  std::unordered_map<const Op*, std::int64_t> ids;
+  fingerprint_op(op, ids, fb);
 }
 
 }  // namespace cortex::ra

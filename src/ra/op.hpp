@@ -126,4 +126,13 @@ OpRef recursion_op(OpRef ph, OpRef body);
 /// Pretty-prints one operator as "name[axes] = body".
 std::string to_string(const OpRef& op);
 
+/// Appends a canonical structural encoding of the operator DAG rooted at
+/// `op` (every field of every reachable operator, including if_then_else
+/// branches and the recursion placeholder/body). Shared operators are
+/// numbered in first-visit order, so operator *identity* is captured (two
+/// reads of one placeholder encode differently from reads of two distinct
+/// placeholders) while isomorphic DAGs built by separate factory calls
+/// encode identically.
+void fingerprint(const OpRef& op, support::FingerprintBuilder& fb);
+
 }  // namespace cortex::ra

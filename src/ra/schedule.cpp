@@ -6,6 +6,33 @@
 
 namespace cortex::ra {
 
+bool operator==(const Schedule& a, const Schedule& b) {
+  return a.dynamic_batching == b.dynamic_batching &&
+         a.specialize_leaves == b.specialize_leaves &&
+         a.unroll_depth == b.unroll_depth && a.refactor == b.refactor &&
+         a.fusion == b.fusion && a.persistence == b.persistence &&
+         a.dense_intermediates == b.dense_intermediates &&
+         a.loop_peeling == b.loop_peeling &&
+         a.improved_barrier_placement == b.improved_barrier_placement &&
+         a.lock_free_barrier == b.lock_free_barrier;
+}
+
+bool operator!=(const Schedule& a, const Schedule& b) { return !(a == b); }
+
+void fingerprint(const Schedule& s, support::FingerprintBuilder& fb) {
+  fb.tag('S');
+  fb.add(s.dynamic_batching);
+  fb.add(s.specialize_leaves);
+  fb.add(s.unroll_depth);
+  fb.add(s.refactor);
+  fb.add(static_cast<std::int64_t>(s.fusion));
+  fb.add(s.persistence);
+  fb.add(s.dense_intermediates);
+  fb.add(s.loop_peeling);
+  fb.add(s.improved_barrier_placement);
+  fb.add(s.lock_free_barrier);
+}
+
 void validate_schedule(const Model& model, const Schedule& s) {
   CORTEX_CHECK(s.unroll_depth >= 1)
       << "unroll_depth must be >= 1, got " << s.unroll_depth;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "linearizer/linearizer.hpp"
+#include "support/fingerprint.hpp"
 
 namespace cortex::ra {
 
@@ -68,6 +69,16 @@ struct Schedule {
     return s;
   }
 };
+
+/// Field-wise equality: the schedule is plain data, and every field is
+/// compilation-relevant.
+bool operator==(const Schedule& a, const Schedule& b);
+bool operator!=(const Schedule& a, const Schedule& b);
+
+/// Appends every schedule field to the fingerprint. All fields are
+/// included — changing any knob changes the plan-cache key, because each
+/// one alters lowering, the optimization passes, or the launch plan.
+void fingerprint(const Schedule& s, support::FingerprintBuilder& fb);
 
 /// Validates a schedule against a model; throws cortex::Error on illegal
 /// combinations (unroll/refactor on DAGs — §3.1; unroll with persistence —

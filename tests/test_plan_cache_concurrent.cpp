@@ -1,0 +1,201 @@
+// Plan-cache concurrency battery: M threads constructing engines for K
+// interleaved keys against the one process-wide cache. Pins the
+// single-flight contract — exactly K misses no matter how many threads
+// race, artifacts pointer-shared across threads, outputs bit-identical to
+// a cold-compiled reference — and gives ASan/UBSan (the CI sanitizer job
+// runs this under -L plancache) a real interleaving to chew on.
+// Assertions run on the main thread after join: gtest failure recording
+// is not thread-safe.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/engine.hpp"
+#include "exec/plan_cache.hpp"
+#include "models/model_zoo.hpp"
+
+namespace cortex::exec {
+namespace {
+
+constexpr int kThreads = 8;     // M
+constexpr int kIterations = 3;  // constructions per key per thread
+
+runtime::DeviceSpec gpu() { return runtime::DeviceSpec::v100_gpu(); }
+
+/// One cache key: a (model, schedule) pair plus its params and expected
+/// cold-compiled output.
+struct Key {
+  models::ModelDef def;
+  models::ModelParams params;
+  ra::Schedule schedule;
+  std::vector<std::vector<float>> expected;
+};
+
+/// Each thread builds its own copy of the workload (same seed, so the
+/// structures — and therefore the outputs — are identical): linearization
+/// writes per-node scratch into the trees, so a structure instance must
+/// not be run by two engines concurrently.
+std::vector<std::unique_ptr<ds::Tree>> workload() {
+  Rng rng(23);
+  return ds::make_sst_like_batch(3, rng);
+}
+
+std::vector<Key> make_keys() {
+  std::vector<Key> keys;
+  const auto add = [&](models::ModelDef def, ra::Schedule sched) {
+    Rng prng(17);
+    Key k{std::move(def), {}, sched, {}};
+    k.params = models::init_params(k.def, prng);
+    keys.push_back(std::move(k));
+  };
+  add(models::make_treefc_embed(16), ra::Schedule{});
+  add(models::make_treefc_embed(16), ra::Schedule::unoptimized());
+  add(models::make_treegru_embed(16), ra::Schedule{});
+  add(models::make_treelstm_embed(16), ra::Schedule::cavs_comparable());
+
+  // Cold-compiled reference outputs, cache bypassed.
+  PlanCache::instance().set_enabled(false);
+  const auto trees = workload();
+  const auto raw = baselines::raw(trees);
+  for (Key& k : keys) {
+    CortexEngine cold(k.def, k.params, k.schedule, gpu());
+    cold.set_num_threads(1);
+    k.expected = cold.run(raw).root_states;
+  }
+  PlanCache::instance().set_enabled(true);
+  return keys;
+}
+
+TEST(PlanCacheConcurrent, ExactlyKMissesSharedArtifactsIdenticalOutputs) {
+  PlanCache& cache = PlanCache::instance();
+  cache.set_enabled(true);
+  cache.set_capacity(0);
+  cache.clear();
+
+  const std::vector<Key> keys = make_keys();
+  const int K = static_cast<int>(keys.size());
+  cache.clear();  // make_keys bypassed the cache; start counting from zero
+
+  // Per thread × key: the artifacts pointer observed and whether every
+  // run matched the cold reference. Checked on the main thread.
+  std::vector<std::vector<const CompiledArtifacts*>> seen(
+      kThreads, std::vector<const CompiledArtifacts*>(K, nullptr));
+  std::vector<bool> outputs_ok(kThreads, false);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto trees = workload();  // thread-local structures (see above)
+      const auto raw = baselines::raw(trees);
+      bool ok = true;
+      for (int iter = 0; iter < kIterations; ++iter) {
+        for (int i = 0; i < K; ++i) {
+          // Interleave: thread t starts at key t%K, so every key has
+          // several threads racing its first (compiling) construction.
+          const int ki = (i + t) % K;
+          const Key& k = keys[static_cast<std::size_t>(ki)];
+          CortexEngine engine(k.def, k.params, k.schedule, gpu());
+          engine.set_num_threads(1);  // no nested pools under kThreads racers
+          ok = ok && engine.run(raw).root_states == k.expected;
+          const CompiledArtifacts* seen_before =
+              seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(ki)];
+          ok = ok &&
+               (seen_before == nullptr ||
+                seen_before == engine.artifacts().get());
+          seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(ki)] =
+              engine.artifacts().get();
+        }
+      }
+      outputs_ok[static_cast<std::size_t>(t)] = ok;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exactly K misses: the single-flight guard collapses every race on a
+  // key into one compile; all other constructions are hits.
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, K);
+  EXPECT_EQ(s.hits,
+            static_cast<std::int64_t>(kThreads) * kIterations * K - K);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(cache.size(), K);
+  EXPECT_GT(s.compile_ns_saved, 0.0);
+
+  // Artifacts pointer-shared across all threads, per key.
+  for (int i = 0; i < K; ++i) {
+    const CompiledArtifacts* first = seen[0][static_cast<std::size_t>(i)];
+    ASSERT_NE(first, nullptr) << "key " << i;
+    for (int t = 1; t < kThreads; ++t)
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                first)
+          << "key " << i << " thread " << t;
+  }
+
+  // Every thread's every run was bit-identical to the cold reference.
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_TRUE(outputs_ok[static_cast<std::size_t>(t)]) << "thread " << t;
+
+  cache.clear();  // leave no state for later suites in this binary
+}
+
+TEST(PlanCacheConcurrent, CapacityBoundUnderConcurrencyStaysConsistent) {
+  // Threads thrash a capacity-2 LRU with 4 keys: counters must stay
+  // internally consistent (every construction is a hit or a miss) and the
+  // cache must never exceed its bound. Engines keep working off evicted
+  // entries because they hold shared_ptrs.
+  PlanCache& cache = PlanCache::instance();
+  cache.set_enabled(true);
+  cache.set_capacity(2);
+  cache.clear();
+
+  const std::vector<Key> keys = make_keys();
+  const int K = static_cast<int>(keys.size());
+  cache.clear();
+
+  std::vector<bool> outputs_ok(kThreads, false);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto trees = workload();  // thread-local structures (see above)
+      const auto raw = baselines::raw(trees);
+      bool ok = true;
+      for (int iter = 0; iter < kIterations; ++iter) {
+        for (int i = 0; i < K; ++i) {
+          const Key& k = keys[static_cast<std::size_t>((i + t) % K)];
+          CortexEngine engine(k.def, k.params, k.schedule, gpu());
+          engine.set_num_threads(1);
+          ok = ok &&
+               engine.run(raw).root_states ==
+                   keys[static_cast<std::size_t>((i + t) % K)].expected;
+        }
+      }
+      outputs_ok[static_cast<std::size_t>(t)] = ok;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const PlanCacheStats s = cache.stats();
+  const std::int64_t constructions =
+      static_cast<std::int64_t>(kThreads) * kIterations * K;
+  EXPECT_EQ(s.hits + s.misses, constructions);
+  EXPECT_GE(s.misses, K);  // at least one cold compile per key
+  EXPECT_LE(cache.size(), 2);
+  EXPECT_EQ(s.evictions, s.misses - cache.size());
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_TRUE(outputs_ok[static_cast<std::size_t>(t)]) << "thread " << t;
+
+  cache.set_capacity(0);
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace cortex::exec
