@@ -32,7 +32,10 @@ ran=0
 for bin in "${BENCH_DIR}"/bench_*; do
   [[ -f "${bin}" && -x "${bin}" ]] || continue
   name=$(basename "${bin}")
-  out="${OUT_DIR}/BENCH_${name}.json"
+  # Result files drop the binary's bench_ prefix: bench_engine_pool
+  # writes BENCH_engine_pool.json (the "bench" key inside the JSON keeps
+  # the full binary name).
+  out="${OUT_DIR}/BENCH_${name#bench_}.json"
   echo "== ${name} -> ${out}"
   ran=$((ran + 1))
 

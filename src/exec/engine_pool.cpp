@@ -1,0 +1,126 @@
+#include "exec/engine_pool.hpp"
+
+#include <algorithm>
+
+#include "runtime/profiler.hpp"
+#include "support/env.hpp"
+
+namespace cortex::exec {
+
+int EnginePool::default_num_workers() {
+  return support::env_positive_int("CORTEX_POOL_WORKERS",
+                                   support::hardware_threads());
+}
+
+std::vector<EnginePool::Shard> EnginePool::shard_plan(
+    std::int64_t batch, int workers, std::int64_t min_shard_size) {
+  if (batch <= 0) return {};
+  const std::int64_t w = std::max(workers, 1);
+  const std::int64_t floor = std::max<std::int64_t>(min_shard_size, 1);
+  // At most one shard per worker, and no shard below the size floor:
+  // splitting into S <= batch/floor contiguous near-even slices makes
+  // every slice at least floor(batch/S) >= floor elements. A batch
+  // smaller than the floor still runs, as one undersized shard.
+  const std::int64_t s =
+      std::min<std::int64_t>(w, std::max<std::int64_t>(1, batch / floor));
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(s));
+  for (std::int64_t i = 0; i < s; ++i)
+    shards.push_back(Shard{batch * i / s, batch * (i + 1) / s});
+  return shards;
+}
+
+EnginePool::EnginePool(const models::ModelDef& def,
+                       const models::ModelParams& params,
+                       ra::Schedule schedule, runtime::DeviceSpec spec,
+                       EnginePoolOptions opts)
+    : def_(def), opts_(opts) {
+  if (opts_.workers < 1) opts_.workers = default_num_workers();
+  if (opts_.min_shard_size < 1) opts_.min_shard_size = 1;
+  if (opts_.threads_per_worker < 1) opts_.threads_per_worker = 1;
+  engines_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w) {
+    // Worker 0's construction compiles (or warm-hits the plan cache);
+    // workers 1..N-1 are guaranteed warm hits sharing the same artifacts.
+    engines_.push_back(
+        std::make_unique<CortexEngine>(def, params, schedule, spec));
+    engines_.back()->set_num_threads(opts_.threads_per_worker);
+  }
+  tasks_ = std::make_unique<support::TaskPool>(opts_.workers);
+}
+
+const CortexEngine& EnginePool::engine(int w) const {
+  CORTEX_CHECK(w >= 0 && w < num_workers())
+      << "bad worker index " << w << " of " << num_workers();
+  return *engines_[static_cast<std::size_t>(w)];
+}
+
+template <typename Item>
+runtime::RunResult EnginePool::run_sharded(const std::vector<Item>& batch) {
+  if (batch.empty()) return runtime::RunResult{};
+
+  const std::vector<Shard> shards = shard_plan(
+      static_cast<std::int64_t>(batch.size()), num_workers(),
+      opts_.min_shard_size);
+  const auto num_shards = shards.size();
+  std::vector<runtime::RunResult> results(num_shards);
+  std::vector<runtime::ShardRecord> records(num_shards);
+
+  // One task per shard. The executing worker's index selects the engine,
+  // so an engine is only ever touched by its own worker thread — even
+  // with several client threads inside run() at once, in which case the
+  // FIFO queue interleaves their shards across idle workers.
+  support::TaskGroup group(*tasks_);
+  for (std::size_t si = 0; si < num_shards; ++si) {
+    group.run([this, &batch, &shards, &results, &records, si](int worker) {
+      const Shard& sh = shards[si];
+      const std::vector<Item> sub(
+          batch.begin() + static_cast<std::ptrdiff_t>(sh.begin),
+          batch.begin() + static_cast<std::ptrdiff_t>(sh.end));
+      runtime::ShardRecord rec;
+      rec.worker = worker;
+      rec.batch_begin = sh.begin;
+      rec.batch_size = sh.end - sh.begin;
+      const std::int64_t t0 = runtime::now_ns();
+      results[si] = engines_[static_cast<std::size_t>(worker)]->run(sub);
+      rec.run_ns = static_cast<double>(runtime::now_ns() - t0);
+      records[si] = rec;
+    });
+  }
+  // Rethrows the first shard's error after every shard of this batch has
+  // finished — a failing shard fails the whole batch, and no worker is
+  // left running a stale task, so the pool serves the next batch cleanly.
+  group.wait();
+
+  runtime::RunResult merged;
+  for (std::size_t si = 0; si < num_shards; ++si)
+    runtime::append_shard(merged, std::move(results[si]), records[si]);
+  merged.profiler.pool_workers = num_workers();
+  return merged;
+}
+
+runtime::RunResult EnginePool::run(const std::vector<const ds::Tree*>& trees) {
+  // Same guard (and ordering relative to the empty-batch return) as
+  // CortexEngine::run(trees), so pool and engine agree on every input.
+  CORTEX_CHECK(def_.model ? def_.model->kind != linearizer::StructureKind::kDag
+                          : true)
+      << "model " << def_.name << " expects DAG inputs";
+  return run_sharded(trees);
+}
+
+runtime::RunResult EnginePool::run(
+    const std::vector<std::unique_ptr<ds::Tree>>& trees) {
+  std::vector<const ds::Tree*> raw;
+  raw.reserve(trees.size());
+  for (const auto& t : trees) raw.push_back(t.get());
+  return run(raw);
+}
+
+runtime::RunResult EnginePool::run(const std::vector<const ds::Dag*>& dags) {
+  CORTEX_CHECK(def_.model ? def_.model->kind == linearizer::StructureKind::kDag
+                          : true)
+      << "model " << def_.name << " expects tree inputs, not DAGs";
+  return run_sharded(dags);
+}
+
+}  // namespace cortex::exec

@@ -1,0 +1,115 @@
+#pragma once
+// EnginePool: mini-batch sharding across a pool of CortexEngines — the
+// first piece of the serving front-end the ROADMAP points at (Clipper-
+// style replica pools / BatchMaker-style cellular batching over compiled
+// engines).
+//
+// The plan cache (plan_cache.hpp) makes CortexEngine construction ~µs for
+// a warm (model, schedule, device) triple, so engines are cheap workers:
+// the pool owns N of them (all sharing one immutable CompiledArtifacts by
+// shared_ptr), splits an incoming mini-batch of trees/DAGs into contiguous
+// per-worker shards, runs the shards concurrently on a support::TaskPool,
+// and splices the per-shard RunResults back together in submission order.
+//
+// Guarantees:
+//   - Determinism: pooled root_states are bit-identical to a single
+//     engine's run() over the same batch, at every worker count and shard
+//     size. Each structure is linearized and executed by exactly one
+//     worker, and the cell numerics per node are input-structure-local,
+//     so sharding cannot perturb them; the merge preserves submission
+//     order. Pinned by tests/test_engine_pool*.cpp.
+//   - Exclusivity: worker w is the only thread that ever touches
+//     engines_[w] (tasks carry the executing worker's index), so
+//     concurrent run() calls from many client threads are safe with no
+//     per-engine locking. One *structure instance* must still not be
+//     submitted by two threads at once (the linearizer writes per-node
+//     scratch into it).
+//   - Exceptions: a throwing shard (malformed structure, structure-kind
+//     mismatch) fails the whole batch — the first shard error is
+//     rethrown from run() after all shards of the batch finished — and
+//     the pool serves subsequent batches normally.
+//
+// Accounting: the merged profiler sums the shards (aggregate work:
+// launches, flops, bytes, modeled times); RunResult::pooled_latency_ns()
+// models the serving latency as the slowest shard's modeled time, and
+// RunResult::shards carries worker / shard-size / per-shard wall+modeled
+// ns for each shard.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "support/task_group.hpp"
+
+namespace cortex::exec {
+
+struct EnginePoolOptions {
+  /// Worker engines. < 1 uses default_num_workers() (CORTEX_POOL_WORKERS
+  /// env, else hardware concurrency).
+  int workers = 0;
+  /// Size floor for shards: the batch is split into at most
+  /// floor(batch / min_shard_size) shards (never more than `workers`), so
+  /// no shard is smaller than the floor — except a batch smaller than the
+  /// floor, which becomes one undersized shard. Floors keep per-shard
+  /// linearization overhead amortized for small batches.
+  std::int64_t min_shard_size = 1;
+  /// Wavefront threads inside each worker engine. Defaults to 1: the pool
+  /// parallelizes across shards, so nested per-engine pools would only
+  /// oversubscribe the host.
+  int threads_per_worker = 1;
+};
+
+class EnginePool {
+ public:
+  /// A contiguous slice [begin, end) of the submitted mini-batch.
+  struct Shard {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+  /// Builds `workers` engines for (def, params, schedule, spec). The
+  /// first construction compiles (or hits the plan cache); the rest are
+  /// warm hits sharing the same artifacts. Like CortexEngine, the pool
+  /// keeps references: `def` and `params` must outlive it.
+  EnginePool(const models::ModelDef& def, const models::ModelParams& params,
+             ra::Schedule schedule, runtime::DeviceSpec spec,
+             EnginePoolOptions opts = {});
+
+  /// Shards the mini-batch across the workers and merges the results in
+  /// submission order. An empty batch returns an empty RunResult (same
+  /// structure-kind guard as CortexEngine::run, which throws first).
+  /// Thread-safe: any number of client threads may call run concurrently.
+  runtime::RunResult run(const std::vector<const ds::Tree*>& trees);
+  runtime::RunResult run(const std::vector<std::unique_ptr<ds::Tree>>& trees);
+  runtime::RunResult run(const std::vector<const ds::Dag*>& dags);
+
+  int num_workers() const { return static_cast<int>(engines_.size()); }
+  /// Worker engine `w` (tests: artifact sharing, thread configuration).
+  /// Do not run() it directly while the pool is serving.
+  const CortexEngine& engine(int w) const;
+
+  /// Pool size used when EnginePoolOptions::workers < 1:
+  /// CORTEX_POOL_WORKERS when set to a positive integer, else
+  /// std::thread::hardware_concurrency() (min 1). Reads the environment
+  /// on every call so tests can vary it.
+  static int default_num_workers();
+
+  /// The deterministic sharding plan: contiguous slices covering
+  /// [0, batch) exactly once, in order, sizes within 1 of each other, at
+  /// most `workers` shards and no more than floor(batch / min_shard_size)
+  /// of them (min 1). Exposed for the shard-boundary fuzz tests.
+  static std::vector<Shard> shard_plan(std::int64_t batch, int workers,
+                                       std::int64_t min_shard_size);
+
+ private:
+  template <typename Item>
+  runtime::RunResult run_sharded(const std::vector<Item>& batch);
+
+  const models::ModelDef& def_;
+  EnginePoolOptions opts_;
+  std::vector<std::unique_ptr<CortexEngine>> engines_;
+  std::unique_ptr<support::TaskPool> tasks_;
+};
+
+}  // namespace cortex::exec

@@ -94,6 +94,11 @@ ArtifactsPtr PlanCache::get_or_compile(
     if (!enabled_) {
       // Fall through to the uncached compile below.
     } else {
+      // Classify the lookup here, under the same lock, whatever path it
+      // takes — warm hit, single-flight waiter (a hit: it compiles
+      // nothing), or compiling miss — so a concurrent stats() snapshot
+      // can never observe hits + misses != lookups, even mid-compile.
+      ++stats_.lookups;
       const auto it = map_.find(key);
       if (it != map_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
@@ -103,6 +108,7 @@ ArtifactsPtr PlanCache::get_or_compile(
       }
       const auto fit = inflight_.find(key);
       if (fit != inflight_.end()) {
+        ++stats_.hits;
         wait_on = fit->second;
       } else {
         ++stats_.misses;
@@ -115,14 +121,12 @@ ArtifactsPtr PlanCache::get_or_compile(
   }
 
   if (wait_on.valid()) {
-    // Another thread is compiling this key: block on its result (a hit —
-    // this caller compiles nothing). get() rethrows compile errors. No
-    // compile_ns_saved credit: the waiter blocked for the whole compile,
-    // so no wall-clock time was actually avoided.
-    ArtifactsPtr shared = wait_on.get();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.hits;
-    return shared;
+    // Another thread is compiling this key: block on its result (already
+    // counted as a hit above — this caller compiles nothing). get()
+    // rethrows compile errors. No compile_ns_saved credit: the waiter
+    // blocked for the whole compile, so no wall-clock time was actually
+    // avoided.
+    return wait_on.get();
   }
 
   if (!promise)  // cache disabled: compile directly, cache & count nothing

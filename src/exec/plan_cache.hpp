@@ -40,7 +40,17 @@
 
 namespace cortex::exec {
 
+/// Counter snapshot returned by PlanCache::stats(). Every counter is
+/// mutated under the cache mutex and classified at lookup time, so any
+/// snapshot — including one taken mid-compile while other threads race
+/// get_or_compile — satisfies `hits + misses == lookups`. A single-flight
+/// waiter is classified a hit when it *joins* the in-flight compile (it
+/// compiles nothing), not when the compile finishes; symmetrically a
+/// failed compile stays counted as a miss (and its waiters as hits) even
+/// though nothing was cached.
 struct PlanCacheStats {
+  /// Enabled-cache get_or_compile calls (disabled calls count nothing).
+  std::int64_t lookups = 0;
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;

@@ -31,6 +31,9 @@ void Profiler::accumulate(const Profiler& o) {
   host_threads = std::max(host_threads, o.host_threads);
   parallel_batches += o.parallel_batches;
   numerics_host_ns += o.numerics_host_ns;
+  // pool_workers is likewise a configuration (max keeps it stable when
+  // averaging pooled runs, and a merge of unpooled shards leaves it 0).
+  pool_workers = std::max(pool_workers, o.pool_workers);
 }
 
 void Profiler::scale(double f) {
@@ -61,8 +64,9 @@ std::string Profiler::str() const {
      << " memcpy_dev=" << device_memcpy_ns * 1e-6 << "ms"
      << " compute=" << device_compute_ns * 1e-6 << "ms"
      << " kernels=" << kernel_launches << " api=" << host_api_ns * 1e-6
-     << "ms host_threads=" << host_threads
-     << " total=" << total_latency_ms() << "ms";
+     << "ms host_threads=" << host_threads;
+  if (pool_workers > 0) os << " pool_workers=" << pool_workers;
+  os << " total=" << total_latency_ms() << "ms";
   return os.str();
 }
 

@@ -43,6 +43,13 @@ struct Profiler {
   /// (DESIGN.md §2's GPU substitution).
   double numerics_host_ns = 0.0;
 
+  // -- engine pool (sharded serving) ----------------------------------------
+  /// Worker engines the pooled run sharded across (0 = not a pooled run).
+  /// Per-shard sizes and per-worker wall/modeled times live in
+  /// RunResult::shards; counters here are sums over all shards, i.e. the
+  /// aggregate work of the whole mini-batch.
+  std::int64_t pool_workers = 0;
+
   void reset() { *this = Profiler{}; }
 
   /// End-to-end modeled inference latency: host framework work + host API

@@ -1,0 +1,24 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace cortex::support {
+
+int env_positive_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<int>(std::min(v, 1024l));
+  }
+  return fallback;
+}
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace cortex::support

@@ -1,0 +1,19 @@
+#pragma once
+// Shared parsing for positive-integer operator knobs (CORTEX_THREADS,
+// CORTEX_POOL_WORKERS, ...): these are tuning knobs, not model inputs, so
+// unset/empty/garbage/non-positive values fall back silently instead of
+// erroring. One definition so the clamp and strtol edge cases cannot
+// drift between call sites.
+
+namespace cortex::support {
+
+/// min(value, 1024) when the environment variable `name` holds a positive
+/// integer; `fallback` otherwise. Reads the environment on every call so
+/// tests can vary the knob.
+int env_positive_int(const char* name, int fallback);
+
+/// std::thread::hardware_concurrency() with a floor of 1 (it reports 0
+/// when unknown) — the usual fallback for the knobs above.
+int hardware_threads();
+
+}  // namespace cortex::support

@@ -1,0 +1,89 @@
+#include "support/task_group.hpp"
+
+#include <algorithm>
+
+namespace cortex::support {
+
+TaskPool::TaskPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+TaskPool::~TaskPool() {
+  // Workers drain the queue before exiting, so any group still waiting on
+  // an enqueued task is woken rather than deadlocked; well-behaved owners
+  // (EnginePool) have no outstanding groups by the time this runs.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::enqueue(TaskGroup* group, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(group, std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::worker_main(int worker) {
+  for (;;) {
+    TaskGroup* group = nullptr;
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to drain
+      group = queue_.front().first;
+      task = std::move(queue_.front().second);
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task(worker);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    group->finish(err);
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor observation of a task failure: nothing to rethrow into.
+  }
+}
+
+void TaskGroup::run(TaskPool::Task fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.enqueue(this, std::move(fn));
+}
+
+void TaskGroup::finish(std::exception_ptr err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (err && !first_error_) first_error_ = err;
+  --pending_;
+  if (pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace cortex::support

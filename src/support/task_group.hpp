@@ -1,0 +1,99 @@
+#pragma once
+// Queue-based task pool + submit-and-wait groups for the engine pool
+// (exec/engine_pool.hpp).
+//
+// Why not ThreadPool? ThreadPool::parallel_for statically chunks one index
+// range, runs the caller as worker 0 and is deliberately not reentrant —
+// exactly right for the engine's wavefront loops, where one run owns the
+// pool. A serving pool is the opposite shape: every worker owns *state*
+// (a CortexEngine with its scratch and states tensor), tasks are
+// heterogeneous (one shard each), and many client threads submit batches
+// concurrently. Static chunking does not fit that, so this file adds the
+// submit-and-wait group:
+//   - TaskPool: N dedicated worker threads draining one FIFO queue. A
+//     task receives the executing worker's index, so per-worker state
+//     (engines_[worker]) is exclusive by construction — a worker runs one
+//     task at a time and never migrates mid-task.
+//   - TaskGroup: tracks the tasks one caller submitted and wait()s for
+//     exactly those, independent of other callers sharing the pool. The
+//     first exception thrown by any task in the group is rethrown from
+//     wait(); the pool and the group both stay usable afterwards.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cortex::support {
+
+class TaskGroup;
+
+class TaskPool {
+ public:
+  /// A unit of work: fn(worker) runs on worker thread `worker` (0-based,
+  /// < num_threads()). Unlike ThreadPool, the submitting thread never
+  /// executes tasks — it blocks in TaskGroup::wait().
+  using Task = std::function<void(int)>;
+
+  /// Spawns `num_threads` dedicated workers (clamped to >= 1).
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  friend class TaskGroup;
+
+  /// Enqueues a task on behalf of `group` (thread-safe). The group's
+  /// pending count must already account for it.
+  void enqueue(TaskGroup* group, Task task);
+  void worker_main(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<TaskGroup*, Task>> queue_;
+  bool stop_ = false;
+};
+
+/// One caller's batch of tasks on a (possibly shared) TaskPool. Reusable:
+/// after wait() returns, run() may be called again. Destroying a group
+/// with tasks still outstanding waits for them (exceptions swallowed —
+/// call wait() to observe them).
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits fn to the pool as part of this group. Never runs inline.
+  void run(TaskPool::Task fn);
+
+  /// Blocks until every task submitted via run() has finished, then
+  /// rethrows the first exception any of them threw (clearing it, so the
+  /// group is usable for another round).
+  void wait();
+
+ private:
+  friend class TaskPool;
+  /// Worker-side completion: record `err` (first wins) and wake waiters.
+  void finish(std::exception_ptr err);
+
+  TaskPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cortex::support

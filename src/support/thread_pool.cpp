@@ -1,23 +1,14 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "support/env.hpp"
 #include "support/logging.hpp"
 
 namespace cortex::support {
 
 int ThreadPool::default_num_threads() {
-  if (const char* env = std::getenv("CORTEX_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    // Ignore empty/garbage/non-positive values rather than erroring: the
-    // variable is an operator knob, not part of the model input.
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<int>(std::min(v, 1024l));
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return env_positive_int("CORTEX_THREADS", hardware_threads());
 }
 
 ThreadPool::ThreadPool(int num_threads)

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -86,7 +88,9 @@ TEST(PlanCacheConcurrent, ExactlyKMissesSharedArtifactsIdenticalOutputs) {
   // run matched the cold reference. Checked on the main thread.
   std::vector<std::vector<const CompiledArtifacts*>> seen(
       kThreads, std::vector<const CompiledArtifacts*>(K, nullptr));
-  std::vector<bool> outputs_ok(kThreads, false);
+  // char, not bool: vector<bool> packs bits into shared bytes, so
+  // writes to distinct elements from different threads race (UB).
+  std::vector<char> outputs_ok(kThreads, 0);
 
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -124,6 +128,7 @@ TEST(PlanCacheConcurrent, ExactlyKMissesSharedArtifactsIdenticalOutputs) {
   EXPECT_EQ(s.misses, K);
   EXPECT_EQ(s.hits,
             static_cast<std::int64_t>(kThreads) * kIterations * K - K);
+  EXPECT_EQ(s.lookups, s.hits + s.misses);
   EXPECT_EQ(s.evictions, 0);
   EXPECT_EQ(cache.size(), K);
   EXPECT_GT(s.compile_ns_saved, 0.0);
@@ -159,7 +164,9 @@ TEST(PlanCacheConcurrent, CapacityBoundUnderConcurrencyStaysConsistent) {
   const int K = static_cast<int>(keys.size());
   cache.clear();
 
-  std::vector<bool> outputs_ok(kThreads, false);
+  // char, not bool: vector<bool> packs bits into shared bytes, so
+  // writes to distinct elements from different threads race (UB).
+  std::vector<char> outputs_ok(kThreads, 0);
 
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -187,12 +194,88 @@ TEST(PlanCacheConcurrent, CapacityBoundUnderConcurrencyStaysConsistent) {
   const std::int64_t constructions =
       static_cast<std::int64_t>(kThreads) * kIterations * K;
   EXPECT_EQ(s.hits + s.misses, constructions);
+  EXPECT_EQ(s.lookups, constructions);
   EXPECT_GE(s.misses, K);  // at least one cold compile per key
   EXPECT_LE(cache.size(), 2);
   EXPECT_EQ(s.evictions, s.misses - cache.size());
   for (int t = 0; t < kThreads; ++t)
     EXPECT_TRUE(outputs_ok[static_cast<std::size_t>(t)]) << "thread " << t;
 
+  cache.set_capacity(0);
+  cache.clear();
+}
+
+TEST(PlanCacheConcurrent, StatsSnapshotsAreTornFreeDuringCompileRaces) {
+  // Readers hammer stats() while constructor threads race compiles. Every
+  // snapshot — including ones taken mid-compile, while a key has an
+  // in-flight future and blocked single-flight waiters — must satisfy
+  // the lookup-classification invariant hits + misses == lookups, and a
+  // reader's consecutive snapshots must be monotone (counters only grow).
+  // A torn read (counters mutated outside the mutex, or hit/miss
+  // classification deferred past the lookup) breaks one of these.
+  PlanCache& cache = PlanCache::instance();
+  cache.set_enabled(true);
+  cache.set_capacity(0);
+  cache.clear();
+
+  const std::vector<Key> keys = make_keys();
+  const int K = static_cast<int>(keys.size());
+  cache.clear();  // make_keys bypassed the cache; start counting from zero
+
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::vector<std::int64_t> violations(kReaders, 0);
+  std::vector<std::string> first_violation(kReaders);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      PlanCacheStats prev;
+      while (!done.load(std::memory_order_relaxed)) {
+        const PlanCacheStats s = cache.stats();
+        const bool consistent =
+            s.hits + s.misses == s.lookups && s.hits >= prev.hits &&
+            s.misses >= prev.misses && s.lookups >= prev.lookups &&
+            s.hits >= 0 && s.misses >= 0;
+        if (!consistent) {
+          if (violations[static_cast<std::size_t>(r)]++ == 0)
+            first_violation[static_cast<std::size_t>(r)] =
+                "lookups=" + std::to_string(s.lookups) +
+                " hits=" + std::to_string(s.hits) +
+                " misses=" + std::to_string(s.misses) +
+                " (prev lookups=" + std::to_string(prev.lookups) + ")";
+        }
+        prev = s;
+      }
+    });
+  }
+
+  std::vector<std::thread> constructors;
+  constructors.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    constructors.emplace_back([&, t] {
+      for (int iter = 0; iter < kIterations; ++iter)
+        for (int i = 0; i < K; ++i) {
+          // Interleave starts (i + t) so every key's first — compiling —
+          // construction has several threads racing it while readers
+          // snapshot mid-compile.
+          const Key& k = keys[static_cast<std::size_t>((i + t) % K)];
+          CortexEngine engine(k.def, k.params, k.schedule, gpu());
+        }
+    });
+  }
+  for (std::thread& th : constructors) th.join();
+  done.store(true);
+  for (std::thread& th : readers) th.join();
+
+  for (int r = 0; r < kReaders; ++r)
+    EXPECT_EQ(violations[static_cast<std::size_t>(r)], 0)
+        << "reader " << r << " first torn snapshot: "
+        << first_violation[static_cast<std::size_t>(r)];
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
   cache.set_capacity(0);
   cache.clear();
 }
