@@ -18,9 +18,23 @@ unset CORTEX_BENCH_SMOKE
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench_results}
 BENCH_DIR="${BUILD_DIR}/bench"
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  # No build tree yet: configure a measurement build. -march=native lets
+  # the panel-GEMM / eltwise inner loops use the host's widest SIMD —
+  # this is the configuration the recorded bench numbers come from. An
+  # EXISTING tree is never reconfigured (it may be a sanitizer/debug
+  # build the user cares about); only a missing one is created.
+  echo "== ${BUILD_DIR} not found: configuring a Release measurement" \
+       "build (CORTEX_MARCH_NATIVE=ON)"
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release -DCORTEX_MARCH_NATIVE=ON
+  cmake --build "${BUILD_DIR}" -j
+fi
 
 if [[ ! -d "${BENCH_DIR}" ]]; then
-  echo "error: ${BENCH_DIR} not found — build first:" >&2
+  echo "error: ${BENCH_DIR} not found — build with benches enabled:" >&2
   echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
 fi

@@ -1,6 +1,8 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "exec/plan_cache.hpp"
 
@@ -8,6 +10,14 @@ namespace cortex::exec {
 
 namespace {
 constexpr std::int64_t kF = sizeof(float);
+
+/// CORTEX_BATCHED_GEMM=0 selects the per-node reference executor;
+/// anything else (including unset) uses the batched wavefront executor.
+/// Read per run so tests and benches can flip it inside one process.
+bool batched_gemm_enabled() {
+  const char* v = std::getenv("CORTEX_BATCHED_GEMM");
+  return !(v != nullptr && std::strcmp(v, "0") == 0);
+}
 
 /// Device-resident bytes of the linearizer's arrays (they are shipped to
 /// the device for the generated code to index), summed per array from its
@@ -59,6 +69,13 @@ CortexEngine::CortexEngine(const models::ModelDef& def,
       spec_(std::move(spec)),
       artifacts_(obtain_artifacts(def, schedule_, spec_)),
       cell_exec_(def.cell, params) {}
+
+models::BatchedCellExecutor& CortexEngine::batched_exec() {
+  if (!batched_exec_)
+    batched_exec_ =
+        std::make_unique<models::BatchedCellExecutor>(def_.cell, params_);
+  return *batched_exec_;
+}
 
 runtime::RunResult CortexEngine::run(
     const std::vector<const ds::Tree*>& trees) {
@@ -125,6 +142,32 @@ void CortexEngine::run_one(const linearizer::Linearized& lin,
                       sc.regs);
 }
 
+void CortexEngine::run_panel(const linearizer::Linearized& lin,
+                             std::int64_t first, std::int64_t n,
+                             models::BatchedCellExecutor::Panels& p) {
+  // Split [first, first+n) into maximal runs of equal leaf-ness so every
+  // run executes one cell program over contiguous state rows. With the
+  // Appendix-B numbering a dynamic batch is homogeneous (batch 0 is
+  // exactly the leaves), so this loop does one iteration per chunk; it
+  // only splits for hand-built Linearized inputs that interleave.
+  std::int64_t r = 0;
+  const auto childless = [&](std::int64_t id) {
+    return lin.child_offsets[static_cast<std::size_t>(id)] ==
+           lin.child_offsets[static_cast<std::size_t>(id) + 1];
+  };
+  while (r < n) {
+    const bool leaf = childless(first + r);
+    std::int64_t e = r + 1;
+    while (e < n && childless(first + e) == leaf) ++e;
+    const auto i0 = static_cast<std::size_t>(first + r);
+    batched_exec().run_batch(leaf, e - r, lin.word.data() + i0,
+                             lin.child_offsets.data() + i0,
+                             lin.child_ids.data(), states_.data(),
+                             states_.row(first + r), p);
+    r = e;
+  }
+}
+
 void CortexEngine::run_numerics(const linearizer::Linearized& lin,
                                 runtime::Profiler& prof) {
   const std::int64_t t0 = runtime::now_ns();
@@ -143,8 +186,37 @@ void CortexEngine::run_numerics(const linearizer::Linearized& lin,
   // (the host mirror of the §A.4 insert_barriers placement). Every node
   // writes only its own state row and reads rows finished in earlier
   // batches, so outputs are bit-identical at any thread count.
+  //
+  // By default each worker's row range runs through the batched executor:
+  // child states gathered into contiguous panels, one GEMM per kMatVec op
+  // over the whole panel (§5's compute-dense form of dynamic batching,
+  // the Cavs/GRNN batching the per-node path leaves on the table). Rows
+  // are computed independently inside a panel, so chunking — and hence
+  // the thread count — cannot perturb any node's result.
   ensure_pool();
   prof.host_threads = pool_->num_threads();
+  // A cell only the per-node path can run (panel invariants are stricter)
+  // falls back transparently: supported() is false and the reference
+  // executor below raises any actual model errors.
+  const bool batched = batched_gemm_enabled() && batched_exec().supported();
+  // Reset the per-worker panel stats up front (not only after a run): a
+  // run that throws mid-wavefront — or a later per-node run on the same
+  // engine — must not drain a previous run's partial counts into its
+  // profiler (EnginePool keeps serving an engine whose last batch failed).
+  for (WorkerScratch& sc : worker_scratch_) {
+    sc.panels.gemm_calls = 0;
+    sc.panels.panels_run = 0;
+    sc.panels.max_panel_rows = 0;
+  }
+  if (batched) {
+    // Static chunking hands each worker at most ceil(len / threads) rows
+    // of any wavefront, so reserve per-worker chunks, not whole batches.
+    const int threads = pool_->num_threads();
+    const std::int64_t worker_rows =
+        (lin.max_batch_length() + threads - 1) / threads;
+    for (WorkerScratch& sc : worker_scratch_)
+      batched_exec().reserve(worker_rows, sc.panels);
+  }
   for (std::int64_t b = 0; b < lin.num_batches(); ++b) {
     const auto bi = static_cast<std::size_t>(b);
     const std::int64_t begin = lin.batch_begin[bi];
@@ -154,8 +226,21 @@ void CortexEngine::run_numerics(const linearizer::Linearized& lin,
         len, [&](int worker, std::int64_t i0, std::int64_t i1) {
           WorkerScratch& sc =
               worker_scratch_[static_cast<std::size_t>(worker)];
-          for (std::int64_t i = i0; i < i1; ++i) run_one(lin, begin + i, sc);
+          if (batched) {
+            run_panel(lin, begin + i0, i1 - i0, sc.panels);
+          } else {
+            for (std::int64_t i = i0; i < i1; ++i)
+              run_one(lin, begin + i, sc);
+          }
         });
+  }
+  // Drain the per-worker panel stats into the profiler (the next batched
+  // run zeroes them before its wavefront loop).
+  for (WorkerScratch& sc : worker_scratch_) {
+    prof.batched_gemm_calls += sc.panels.gemm_calls;
+    prof.batched_panels += sc.panels.panels_run;
+    prof.max_panel_rows =
+        std::max(prof.max_panel_rows, sc.panels.max_panel_rows);
   }
   prof.numerics_host_ns += static_cast<double>(runtime::now_ns() - t0);
 }

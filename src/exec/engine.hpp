@@ -12,7 +12,10 @@
 //   1. linearizes the input structures on the host CPU (§4.2, timed),
 //   2. executes the model numerics bottom-up over the linearized arrays
 //      (the exact semantics every baseline shares, so outputs are
-//      bit-comparable across frameworks),
+//      bit-comparable across frameworks) — by default with the batched
+//      wavefront executor (each dynamic batch's per-node GEMVs fused into
+//      panel GEMMs; CORTEX_BATCHED_GEMM=0 selects the per-node reference
+//      path, bit-identical by construction),
 //   3. accounts device cost on the virtual device model: kernel launches,
 //      off-chip traffic, barriers, per DESIGN.md §2's GPU substitution.
 
@@ -87,10 +90,12 @@ class CortexEngine {
 
  private:
   /// Per-worker mutable state for the numeric executor: cell scratch
-  /// registers plus the gathered child-state pointers.
+  /// registers, the gathered child-state pointers, and the batched
+  /// executor's panel workspace.
   struct WorkerScratch {
     models::CellExecutor::Scratch regs;
     std::vector<const float*> kids;
+    models::BatchedCellExecutor::Panels panels;
   };
 
   void run_numerics(const linearizer::Linearized& lin,
@@ -100,9 +105,25 @@ class CortexEngine {
   /// never diverge numerically.
   void run_one(const linearizer::Linearized& lin, std::int64_t id,
                WorkerScratch& sc);
+  /// Batched wavefront body: runs `n` consecutively numbered nodes
+  /// starting at `first` (a worker's row range of one dynamic batch)
+  /// through the BatchedCellExecutor, splitting the range into maximal
+  /// same-leafness runs so each run maps to one cell program.
+  void run_panel(const linearizer::Linearized& lin, std::int64_t first,
+                 std::int64_t n, models::BatchedCellExecutor::Panels& p);
   /// Lazily builds the pool (and per-worker scratch) on first parallel use
   /// so plan-only engines never spawn threads.
   void ensure_pool();
+  /// Lazily builds the batched executor on first batched run: its
+  /// transposed weight copies cost memory, so engines that never take the
+  /// batched path (CORTEX_BATCHED_GEMM=0, no dynamic batching, plan-only)
+  /// never pay for it. Safe without locking for the same reason states_
+  /// is: one engine is driven by one thread at a time. Deliberately NOT
+  /// part of the shared CompiledArtifacts: artifacts are weight-
+  /// independent by design (engines with different weights share one
+  /// cached plan), while this executor bakes in weight data — so pooled
+  /// workers each hold their own copy.
+  models::BatchedCellExecutor& batched_exec();
   void account_batched(const linearizer::Linearized& lin,
                        runtime::Device& device, Workspace& ws);
   void account_unbatched(const linearizer::Linearized& lin,
@@ -114,6 +135,7 @@ class CortexEngine {
   runtime::DeviceSpec spec_;
   ArtifactsPtr artifacts_;
   models::CellExecutor cell_exec_;
+  std::unique_ptr<models::BatchedCellExecutor> batched_exec_;
   Tensor states_;
   std::unique_ptr<support::ThreadPool> pool_;
   std::vector<WorkerScratch> worker_scratch_;

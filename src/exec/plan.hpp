@@ -64,6 +64,16 @@ struct Plan {
   bool lock_free_barrier = false;
   bool dynamic_batching = true;
 
+  /// Panel GEMMs the host batched wavefront executor issues per internal
+  /// wavefront batch / per leaf batch: the kMatVec op counts of the cell
+  /// programs (the leaf count falls back to the internal program for
+  /// single-formula models, mirroring CellExecutor's branch selection).
+  /// Host-executor metadata only — device cost comes from the templates —
+  /// but it pins the exact batched_gemm_calls a single-threaded run must
+  /// report: leaf + (num_batches - 1) * internal.
+  std::int64_t host_panel_gemms_internal = 0;
+  std::int64_t host_panel_gemms_leaf = 0;
+
   std::string describe() const;
 };
 

@@ -84,6 +84,15 @@ struct Linearized {
     return static_cast<std::int64_t>(batch_begin.size());
   }
   bool is_leaf(std::int32_t id) const { return id >= first_leaf_id; }
+  /// Length of the widest dynamic batch: the row bound of the per-depth
+  /// register panels the batched wavefront executor gathers, so it can
+  /// size its workspace once per run instead of per batch.
+  std::int64_t max_batch_length() const {
+    std::int64_t m = 0;
+    for (const std::int32_t len : batch_length)
+      if (len > m) m = len;
+    return m;
+  }
 };
 
 /// Linearizes a mini-batch of trees (the common case). Throws on malformed

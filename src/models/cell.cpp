@@ -30,7 +30,49 @@ std::int64_t CellOp::param_bytes(
 // CompiledEltwise
 // ---------------------------------------------------------------------------
 
-CompiledEltwise::CompiledEltwise(const ra::Expr& expr) { compile(expr); }
+namespace {
+/// Hard bounds of the postfix interpreter's fixed-size operand stack and
+/// param-pointer table; enforced at compile() so eval can never overrun.
+constexpr std::int32_t kMaxStackDepth = 32;
+constexpr std::size_t kMaxEltParams = 8;
+/// Elements per interpreter strip in eval_panel (8 KiB of stack at max
+/// depth; long enough to amortize instruction dispatch, short enough to
+/// stay in L1).
+constexpr std::int64_t kEltStrip = 64;
+}  // namespace
+
+CompiledEltwise::CompiledEltwise(const ra::Expr& expr) {
+  compile(expr);
+  // Walk the program once to bound the operand stack depth.
+  std::int32_t depth = 0;
+  for (const Instr& it : prog_) {
+    switch (it.op) {
+      case OpCode::kPushInput:
+      case OpCode::kPushParam:
+      case OpCode::kPushConst:
+        ++depth;
+        break;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMax:
+      case OpCode::kMin:
+        --depth;
+        break;
+      case OpCode::kSelect:
+        depth -= 2;
+        break;
+      default:  // unary calls leave the depth unchanged
+        break;
+    }
+    max_depth_ = std::max(max_depth_, depth);
+  }
+  CORTEX_CHECK(max_depth_ <= kMaxStackDepth)
+      << "eltwise expression exceeds operand stack depth " << kMaxStackDepth;
+  CORTEX_CHECK(param_names_.size() <= kMaxEltParams)
+      << "eltwise expression loads more than " << kMaxEltParams << " params";
+}
 
 void CompiledEltwise::compile(const ra::Expr& e) {
   using ra::ExprKind;
@@ -116,23 +158,28 @@ void CompiledEltwise::compile(const ra::Expr& e) {
 float CompiledEltwise::eval(
     std::int64_t i, const std::vector<const float*>& ins,
     const std::map<std::string, const float*>& params) const {
-  float stack[32];
-  int sp = 0;
-  // Resolve param pointers once per call.
-  const float* param_ptrs[8] = {nullptr};
+  // Resolve param pointers, then defer to the pointer form.
+  const float* param_ptrs[kMaxEltParams] = {nullptr};
   for (std::size_t k = 0; k < param_names_.size(); ++k) {
     auto it = params.find(param_names_[k]);
     CORTEX_CHECK(it != params.end())
         << "eltwise references unbound param " << param_names_[k];
     param_ptrs[k] = it->second;
   }
+  return eval(i, ins.data(), param_ptrs);
+}
+
+float CompiledEltwise::eval(std::int64_t i, const float* const* ins,
+                            const float* const* params) const {
+  float stack[kMaxStackDepth];
+  int sp = 0;
   for (const Instr& ins_i : prog_) {
     switch (ins_i.op) {
       case OpCode::kPushInput:
         stack[sp++] = ins[static_cast<std::size_t>(ins_i.slot)][i];
         break;
       case OpCode::kPushParam:
-        stack[sp++] = param_ptrs[ins_i.slot][i];
+        stack[sp++] = params[ins_i.slot][i];
         break;
       case OpCode::kPushConst:
         stack[sp++] = ins_i.constant;
@@ -169,6 +216,127 @@ float CompiledEltwise::eval(
     }
   }
   return stack[0];
+}
+
+void CompiledEltwise::eval_panel(std::int64_t rows, std::int64_t width,
+                                 const float* const* ins,
+                                 const float* const* params,
+                                 float* out) const {
+  // Strip-mined interpretation: each instruction runs over a strip of
+  // elements, amortizing the dispatch switch. Per element the arithmetic
+  // is the identical scalar op sequence eval() performs (elementwise ops
+  // carry no cross-element accumulation), so the panel result is
+  // bit-identical to per-element evaluation in any order.
+  float stack[kMaxStackDepth][kEltStrip];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t base = r * width;
+    for (std::int64_t i0 = 0; i0 < width; i0 += kEltStrip) {
+      const std::int64_t len = std::min(kEltStrip, width - i0);
+      int sp = 0;
+      for (const Instr& it : prog_) {
+        switch (it.op) {
+          case OpCode::kPushInput: {
+            const float* src =
+                ins[static_cast<std::size_t>(it.slot)] + base + i0;
+            float* dst = stack[sp++];
+            for (std::int64_t e = 0; e < len; ++e) dst[e] = src[e];
+            break;
+          }
+          case OpCode::kPushParam: {
+            // Params are 1-D over the register width: index i, not r*w+i.
+            const float* src = params[it.slot] + i0;
+            float* dst = stack[sp++];
+            for (std::int64_t e = 0; e < len; ++e) dst[e] = src[e];
+            break;
+          }
+          case OpCode::kPushConst: {
+            float* dst = stack[sp++];
+            for (std::int64_t e = 0; e < len; ++e) dst[e] = it.constant;
+            break;
+          }
+          case OpCode::kAdd: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e) a[e] += b[e];
+            break;
+          }
+          case OpCode::kSub: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e) a[e] -= b[e];
+            break;
+          }
+          case OpCode::kMul: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e) a[e] *= b[e];
+            break;
+          }
+          case OpCode::kDiv: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e) a[e] /= b[e];
+            break;
+          }
+          case OpCode::kMax: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e)
+              a[e] = std::max(a[e], b[e]);
+            break;
+          }
+          case OpCode::kMin: {
+            --sp;
+            float* a = stack[sp - 1];
+            const float* b = stack[sp];
+            for (std::int64_t e = 0; e < len; ++e)
+              a[e] = std::min(a[e], b[e]);
+            break;
+          }
+          case OpCode::kTanh: {
+            float* a = stack[sp - 1];
+            for (std::int64_t e = 0; e < len; ++e)
+              a[e] = kernels::tanh_rational(a[e]);
+            break;
+          }
+          case OpCode::kSigmoid: {
+            float* a = stack[sp - 1];
+            for (std::int64_t e = 0; e < len; ++e)
+              a[e] = kernels::sigmoid_rational(a[e]);
+            break;
+          }
+          case OpCode::kRelu: {
+            float* a = stack[sp - 1];
+            for (std::int64_t e = 0; e < len; ++e)
+              a[e] = a[e] > 0.0f ? a[e] : 0.0f;
+            break;
+          }
+          case OpCode::kExp: {
+            float* a = stack[sp - 1];
+            for (std::int64_t e = 0; e < len; ++e) a[e] = std::exp(a[e]);
+            break;
+          }
+          case OpCode::kSelect: {
+            sp -= 2;
+            float* c = stack[sp - 1];
+            const float* t = stack[sp];
+            const float* f = stack[sp + 1];
+            for (std::int64_t e = 0; e < len; ++e)
+              c[e] = c[e] != 0.0f ? t[e] : f[e];
+            break;
+          }
+        }
+      }
+      float* dst = out + base + i0;
+      const float* s0 = stack[0];
+      for (std::int64_t e = 0; e < len; ++e) dst[e] = s0[e];
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -321,11 +489,17 @@ std::int64_t ModelParams::elems(const std::string& name) const {
 
 namespace {
 
+/// Executes one cell op. `elt_params` (pre-resolved eltwise param
+/// pointers), `elt_ins` and `stacked` (hoisted per-op scratch buffers)
+/// are optional: the CellExecutor hot path passes all three so the loop
+/// allocates nothing; the naive run_cell_node reference passes null and
+/// resolves/allocates per call.
 void exec_op(const CellOp& op, const CompiledEltwise* compiled,
-             const ModelParams& params,
+             const float* const* elt_params, const ModelParams& params,
              const std::vector<const float*>& child_states,
              std::int32_t word,
              std::map<std::string, std::vector<float>>& regs,
+             std::vector<const float*>* elt_ins, std::vector<float>* stacked,
              float* out_state, std::int64_t state_width, bool is_last) {
   float* out;
   if (is_last) {
@@ -385,23 +559,31 @@ void exec_op(const CellOp& op, const CompiledEltwise* compiled,
       const auto h = w.shape().dim(0);
       CORTEX_CHECK(w.shape().dim(1) == 2 * h && op.width == h * h)
           << "kMatStack2 param must be (H,2H) with out H*H";
-      std::vector<float> stacked(static_cast<std::size_t>(2 * h * h));
-      kernels::copy(in_ptr(0), stacked.data(), h * h);
-      kernels::copy(in_ptr(1), stacked.data() + h * h, h * h);
-      kernels::gemm(w.data(), stacked.data(), out, h, 2 * h, h);
+      std::vector<float> local_stacked;
+      std::vector<float>& st = stacked ? *stacked : local_stacked;
+      st.resize(static_cast<std::size_t>(2 * h * h));
+      kernels::copy(in_ptr(0), st.data(), h * h);
+      kernels::copy(in_ptr(1), st.data() + h * h, h * h);
+      kernels::gemm(w.data(), st.data(), out, h, 2 * h, h);
       break;
     }
     case CellOpKind::kEltwise: {
       CORTEX_CHECK(compiled != nullptr) << "eltwise without compiled expr";
-      std::vector<const float*> ins;
+      std::vector<const float*> local_ins;
+      std::vector<const float*>& ins = elt_ins ? *elt_ins : local_ins;
+      ins.clear();
       ins.reserve(op.ins.size());
       for (std::size_t k = 0; k < op.ins.size(); ++k)
         ins.push_back(in_ptr(k));
-      std::map<std::string, const float*> pmap;
-      for (const std::string& pn : compiled->param_names())
-        pmap[pn] = params.at(pn).data();
+      const float* local_params[kMaxEltParams] = {nullptr};
+      if (elt_params == nullptr) {
+        const auto& names = compiled->param_names();
+        for (std::size_t k = 0; k < names.size(); ++k)
+          local_params[k] = params.at(names[k]).data();
+        elt_params = local_params;
+      }
       for (std::int64_t i = 0; i < op.width; ++i)
-        out[i] = compiled->eval(i, ins, pmap);
+        out[i] = compiled->eval(i, ins.data(), elt_params);
       break;
     }
     case CellOpKind::kConcat2: {
@@ -426,10 +608,31 @@ void run_cell_node(const std::vector<CellOp>& ops, const ModelParams& params,
     CompiledEltwise ce;
     const bool is_elt = ops[k].kind == CellOpKind::kEltwise;
     if (is_elt) ce = CompiledEltwise(ops[k].expr);
-    exec_op(ops[k], is_elt ? &ce : nullptr, params, child_states, word, regs,
-            out_state, state_width, k + 1 == ops.size());
+    exec_op(ops[k], is_elt ? &ce : nullptr, /*elt_params=*/nullptr, params,
+            child_states, word, regs, /*elt_ins=*/nullptr,
+            /*stacked=*/nullptr, out_state, state_width,
+            k + 1 == ops.size());
   }
 }
+
+namespace {
+/// Pre-resolves each eltwise op's param pointers (in param_names() order)
+/// so the hot loop never touches the params map.
+std::vector<std::vector<const float*>> resolve_eparams(
+    const std::vector<CellOp>& ops,
+    const std::vector<CompiledEltwise>& compiled, const ModelParams& params) {
+  std::vector<std::vector<const float*>> out;
+  out.reserve(ops.size());
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    std::vector<const float*> ptrs;
+    if (ops[k].kind == CellOpKind::kEltwise)
+      for (const std::string& pn : compiled[k].param_names())
+        ptrs.push_back(params.at(pn).data());
+    out.push_back(std::move(ptrs));
+  }
+  return out;
+}
+}  // namespace
 
 CellExecutor::CellExecutor(const CellProgram& cell, const ModelParams& params)
     : cell_(cell), params_(params) {
@@ -441,18 +644,25 @@ CellExecutor::CellExecutor(const CellProgram& cell, const ModelParams& params)
     internal_compiled_.push_back(op.kind == CellOpKind::kEltwise
                                      ? CompiledEltwise(op.expr)
                                      : CompiledEltwise());
+  leaf_eparams_ = resolve_eparams(cell.leaf_ops, leaf_compiled_, params);
+  internal_eparams_ =
+      resolve_eparams(cell.internal_ops, internal_compiled_, params);
 }
 
 void CellExecutor::run_ops(const std::vector<CellOp>& ops,
                            const std::vector<CompiledEltwise>& compiled,
+                           const std::vector<std::vector<const float*>>& eparams,
                            const std::vector<const float*>& child_states,
                            std::int32_t word, float* out_state,
                            Scratch& scratch) const {
-  for (std::size_t k = 0; k < ops.size(); ++k)
-    exec_op(ops[k],
-            ops[k].kind == CellOpKind::kEltwise ? &compiled[k] : nullptr,
-            params_, child_states, word, scratch, out_state,
-            cell_.state_width, k + 1 == ops.size());
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const bool is_elt = ops[k].kind == CellOpKind::kEltwise;
+    exec_op(ops[k], is_elt ? &compiled[k] : nullptr,
+            is_elt && !eparams[k].empty() ? eparams[k].data() : nullptr,
+            params_, child_states, word, scratch.regs, &scratch.elt_ins,
+            &scratch.stacked, out_state, cell_.state_width,
+            k + 1 == ops.size());
+  }
 }
 
 void CellExecutor::run_node(bool leaf,
@@ -466,11 +676,280 @@ void CellExecutor::run_node(bool leaf,
                             std::int32_t word, float* out_state,
                             Scratch& scratch) const {
   if (leaf && !cell_.leaf_ops.empty())
-    run_ops(cell_.leaf_ops, leaf_compiled_, child_states, word, out_state,
-            scratch);
+    run_ops(cell_.leaf_ops, leaf_compiled_, leaf_eparams_, child_states,
+            word, out_state, scratch);
   else
-    run_ops(cell_.internal_ops, internal_compiled_, child_states, word,
-            out_state, scratch);
+    run_ops(cell_.internal_ops, internal_compiled_, internal_eparams_,
+            child_states, word, out_state, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// BatchedCellExecutor
+// ---------------------------------------------------------------------------
+
+BatchedCellExecutor::BatchedCellExecutor(const CellProgram& cell,
+                                         const ModelParams& params)
+    : cell_(cell), params_(params) {
+  // Flat register layout: every register of the (merged leaf + internal)
+  // program gets an index and a row-width offset into the arena. The map
+  // is ordered, so the layout is deterministic.
+  for (const auto& [name, w] : cell.register_widths()) {
+    reg_index_[name] = static_cast<int>(reg_width_.size());
+    reg_width_.push_back(w);
+    reg_offset_.push_back(total_width_);
+    total_width_ += w;
+  }
+  // Panel lowering enforces stricter invariants than per-node execution
+  // (see the class comment); a cell that only the per-node path can run
+  // must not fail engine construction, so lowering failure just leaves
+  // the executor unsupported.
+  try {
+    leaf_bops_ = compile_ops(cell.leaf_ops);
+    internal_bops_ = compile_ops(cell.internal_ops);
+    supported_ = true;
+  } catch (const Error&) {
+    leaf_bops_.clear();
+    internal_bops_.clear();
+    supported_ = false;
+  }
+}
+
+std::vector<BatchedCellExecutor::BatchedOp> BatchedCellExecutor::compile_ops(
+    const std::vector<CellOp>& ops) const {
+  std::vector<BatchedOp> bops;
+  bops.reserve(ops.size());
+  for (std::size_t n = 0; n < ops.size(); ++n) {
+    const CellOp& op = ops[n];
+    BatchedOp b;
+    b.kind = op.kind;
+    b.width = op.width;
+    b.child = op.child;
+    b.offset = op.offset;
+    b.constant = static_cast<float>(op.constant);
+    b.is_last = n + 1 == ops.size();
+    // The last op writes straight into the caller's [rows, state_width]
+    // destination; any other width would stride into other nodes' rows
+    // (the per-node path checks the same thing at run time).
+    CORTEX_CHECK(!b.is_last || op.width == cell_.state_width)
+        << "last op width " << op.width << " != state width "
+        << cell_.state_width;
+    b.out_reg = reg_index_.at(op.out);
+    for (const std::string& in : op.ins) {
+      auto it = reg_index_.find(in);
+      CORTEX_CHECK(it != reg_index_.end())
+          << "op " << op.out << " reads undefined register " << in;
+      b.in_regs.push_back(it->second);
+    }
+    switch (op.kind) {
+      case CellOpKind::kLeafEmbed: {
+        b.param = params_.at(op.param);
+        CORTEX_CHECK(b.param.shape().rank() == 2 &&
+                     b.param.shape().dim(1) == op.width)
+            << "embedding table " << op.param << " rows must be "
+            << op.width << " wide";
+        break;
+      }
+      case CellOpKind::kMatVec: {
+        const Tensor& w = params_.at(op.param);
+        CORTEX_CHECK(w.shape().rank() == 2 && w.shape().dim(0) == op.width)
+            << "kMatVec param " << op.param << " must have " << op.width
+            << " rows";
+        b.k = w.shape().dim(1);
+        CORTEX_CHECK(reg_width_[static_cast<std::size_t>(b.in_regs[0])] ==
+                     b.k)
+            << "kMatVec input register width != param cols for " << op.out;
+        // Transposed copy: the panel GEMM C = In @ W^T wants B = W^T laid
+        // out (k, m) so its inner loops stay unit-stride.
+        b.param_t = Tensor(Shape{b.k, op.width});
+        kernels::transpose(w.data(), b.param_t.data(), op.width, b.k);
+        break;
+      }
+      case CellOpKind::kMatStack2: {
+        b.param = params_.at(op.param);
+        const auto h = b.param.shape().dim(0);
+        CORTEX_CHECK(b.param.shape().dim(1) == 2 * h && op.width == h * h)
+            << "kMatStack2 param must be (H,2H) with out H*H";
+        break;
+      }
+      case CellOpKind::kEltwise: {
+        b.compiled = CompiledEltwise(op.expr);
+        CORTEX_CHECK(op.ins.size() <= kMaxEltParams)
+            << "eltwise op " << op.out << " has too many inputs";
+        // Panel evaluation addresses input element (r, i) at r*width + i,
+        // which requires every input panel to share the op's width (true
+        // for every gate/eltwise op in the zoo; per-node execution only
+        // needs width(in) >= width(out)).
+        for (const int in : b.in_regs)
+          CORTEX_CHECK(reg_width_[static_cast<std::size_t>(in)] == op.width)
+              << "eltwise op " << op.out
+              << " input width != output width (unsupported in batched "
+                 "execution)";
+        for (const std::string& pn : b.compiled.param_names())
+          b.eparams.push_back(params_.at(pn).data());
+        break;
+      }
+      default:
+        break;
+    }
+    bops.push_back(std::move(b));
+  }
+  return bops;
+}
+
+void BatchedCellExecutor::reserve(std::int64_t rows, Panels& p) const {
+  p.arena.reserve(static_cast<std::size_t>(total_width_ * rows));
+  p.idx.reserve(static_cast<std::size_t>(rows));
+  p.written.reserve(reg_width_.size());
+}
+
+void BatchedCellExecutor::run_batch(bool leaf, std::int64_t rows,
+                                    const std::int32_t* words,
+                                    const std::int32_t* child_offsets,
+                                    const std::int32_t* child_ids,
+                                    const float* states, float* out,
+                                    Panels& p) const {
+  if (rows <= 0) return;
+  CORTEX_CHECK(supported_)
+      << "run_batch called on an unsupported BatchedCellExecutor";
+  // Mirror run_node's branch selection: a model without a leaf program
+  // runs its single formula at leaves too (DAG-RNN).
+  const std::vector<BatchedOp>& bops =
+      (leaf && !leaf_bops_.empty()) ? leaf_bops_ : internal_bops_;
+  p.arena.resize(static_cast<std::size_t>(total_width_ * rows));
+  p.idx.resize(static_cast<std::size_t>(rows));
+  p.written.assign(reg_width_.size(), 0);
+  ++p.panels_run;
+  p.max_panel_rows = std::max(p.max_panel_rows, rows);
+  run_ops(bops, rows, words, child_offsets, child_ids, states, out, p);
+}
+
+void BatchedCellExecutor::run_ops(const std::vector<BatchedOp>& bops,
+                                  std::int64_t rows,
+                                  const std::int32_t* words,
+                                  const std::int32_t* child_offsets,
+                                  const std::int32_t* child_ids,
+                                  const float* states, float* out,
+                                  Panels& p) const {
+  const std::int64_t sw = cell_.state_width;
+  const auto panel = [&](int reg) {
+    return p.arena.data() +
+           reg_offset_[static_cast<std::size_t>(reg)] * rows;
+  };
+  const auto in_panel = [&](const BatchedOp& b,
+                            std::size_t k) -> const float* {
+    const int reg = b.in_regs[k];
+    CORTEX_CHECK(p.written[static_cast<std::size_t>(reg)] != 0)
+        << "batched op reads register " << reg
+        << " before any op of this program wrote it";
+    return panel(reg);
+  };
+  for (const BatchedOp& b : bops) {
+    float* outp = b.is_last ? out : panel(b.out_reg);
+    switch (b.kind) {
+      case CellOpKind::kLeafEmbed: {
+        const std::int64_t vocab = b.param.shape().dim(0);
+        for (std::int64_t r = 0; r < rows; ++r)
+          CORTEX_CHECK(words[r] >= 0 && words[r] < vocab)
+              << "word id " << words[r] << " outside embedding table";
+        kernels::gather_rows(b.param.data(), words, outp, rows, b.width);
+        break;
+      }
+      case CellOpKind::kLeafConst:
+        kernels::fill(outp, b.constant, rows * b.width);
+        break;
+      case CellOpKind::kSliceChild: {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const std::int32_t off0 = child_offsets[r];
+          const std::int32_t off1 = child_offsets[r + 1];
+          CORTEX_CHECK(b.child < off1 - off0)
+              << "cell reads child " << b.child << " but node has "
+              << off1 - off0;
+          p.idx[static_cast<std::size_t>(r)] =
+              child_ids[static_cast<std::size_t>(off0) +
+                        static_cast<std::size_t>(b.child)];
+        }
+        kernels::gather_rows_strided(states + b.offset, sw, p.idx.data(),
+                                     outp, rows, b.width);
+        break;
+      }
+      case CellOpKind::kChildSum: {
+        kernels::fill(outp, 0.0f, rows * b.width);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          float* dst = outp + r * b.width;
+          for (std::int32_t c = child_offsets[r]; c < child_offsets[r + 1];
+               ++c)
+            kernels::acc(states +
+                             child_ids[static_cast<std::size_t>(c)] * sw +
+                             b.offset,
+                         dst, b.width);
+        }
+        break;
+      }
+      case CellOpKind::kMatVec: {
+        // The whole panel in one GEMM: [rows, k] @ [k, m]. Accumulation
+        // order over k inside gemm matches gemv's, so every row is
+        // bit-identical to the per-node matvec.
+        const float* in = in_panel(b, 0);
+        kernels::gemm(in, b.param_t.data(), outp, rows, b.k, b.width);
+        ++p.gemm_calls;
+        break;
+      }
+      case CellOpKind::kNodeMatVec: {
+        // Per-node matrices: no shared weight to batch; run the same
+        // per-row gemv the per-node path runs.
+        const float* m = in_panel(b, 0);
+        const float* x = in_panel(b, 1);
+        const std::int64_t w0 =
+            reg_width_[static_cast<std::size_t>(b.in_regs[0])];
+        const std::int64_t w1 =
+            reg_width_[static_cast<std::size_t>(b.in_regs[1])];
+        for (std::int64_t r = 0; r < rows; ++r)
+          kernels::gemv(m + r * w0, x + r * w1, outp + r * b.width, b.width,
+                        b.width);
+        break;
+      }
+      case CellOpKind::kMatStack2: {
+        const std::int64_t h = b.param.shape().dim(0);
+        p.stacked.resize(static_cast<std::size_t>(2 * h * h));
+        const float* in0 = in_panel(b, 0);
+        const float* in1 = in_panel(b, 1);
+        const std::int64_t w0 =
+            reg_width_[static_cast<std::size_t>(b.in_regs[0])];
+        const std::int64_t w1 =
+            reg_width_[static_cast<std::size_t>(b.in_regs[1])];
+        for (std::int64_t r = 0; r < rows; ++r) {
+          kernels::copy(in0 + r * w0, p.stacked.data(), h * h);
+          kernels::copy(in1 + r * w1, p.stacked.data() + h * h, h * h);
+          kernels::gemm(b.param.data(), p.stacked.data(),
+                        outp + r * b.width, h, 2 * h, h);
+        }
+        break;
+      }
+      case CellOpKind::kEltwise: {
+        const float* ins_arr[kMaxEltParams] = {nullptr};
+        for (std::size_t k = 0; k < b.in_regs.size(); ++k)
+          ins_arr[k] = in_panel(b, k);
+        b.compiled.eval_panel(rows, b.width, ins_arr, b.eparams.data(),
+                              outp);
+        break;
+      }
+      case CellOpKind::kConcat2: {
+        const float* in0 = in_panel(b, 0);
+        const float* in1 = in_panel(b, 1);
+        const std::int64_t w0 =
+            reg_width_[static_cast<std::size_t>(b.in_regs[0])];
+        const std::int64_t w1s =
+            reg_width_[static_cast<std::size_t>(b.in_regs[1])];
+        const std::int64_t w1 = b.width - w0;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          kernels::copy(in0 + r * w0, outp + r * b.width, w0);
+          kernels::copy(in1 + r * w1s, outp + r * b.width + w0, w1);
+        }
+        break;
+      }
+    }
+    p.written[static_cast<std::size_t>(b.out_reg)] = 1;
+  }
 }
 
 }  // namespace cortex::models

@@ -63,10 +63,24 @@ class CompiledEltwise {
   /// the list of param names it may load.
   explicit CompiledEltwise(const ra::Expr& expr);
 
+  /// Evaluates at element i with inputs ins[j][i] and pre-resolved param
+  /// pointers (order of param_names()). The hot-path form: no lookups.
+  float eval(std::int64_t i, const float* const* ins,
+             const float* const* params) const;
+
   /// Evaluates at element i with inputs ins[j][i]; params resolved by
-  /// name through `params` (1-D tensors).
+  /// name through `params` (1-D tensors). Convenience/reference form.
   float eval(std::int64_t i, const std::vector<const float*>& ins,
              const std::map<std::string, const float*>& params) const;
+
+  /// Evaluates the expression over a whole [rows, width] panel:
+  /// out[r*width + i] = expr(ins[j][r*width + i], params[k][i]). The
+  /// interpreter is strip-mined so each instruction runs over a vector of
+  /// elements; per element the arithmetic is the identical scalar op
+  /// sequence, so results are bit-identical to eval() element by element.
+  void eval_panel(std::int64_t rows, std::int64_t width,
+                  const float* const* ins, const float* const* params,
+                  float* out) const;
 
   bool empty() const { return prog_.empty(); }
   /// Number of arithmetic instructions (used in flop accounting).
@@ -88,6 +102,7 @@ class CompiledEltwise {
   std::vector<Instr> prog_;
   std::vector<std::string> param_names_;
   std::int64_t arith_ops_ = 0;
+  std::int32_t max_depth_ = 0;  ///< peak operand-stack depth of prog_
 
  public:
   const std::vector<std::string>& param_names() const {
@@ -159,9 +174,15 @@ void run_cell_node(const std::vector<CellOp>& ops, const ModelParams& params,
 /// Scratch and is therefore single-threaded.
 class CellExecutor {
  public:
-  /// Scratch registers for one in-flight run_node call (register name ->
-  /// buffer of its width). Reused across calls to amortize allocation.
-  using Scratch = std::map<std::string, std::vector<float>>;
+  /// Mutable state for one in-flight run_node call, reused across calls so
+  /// the per-node hot loop performs no heap allocation: the named register
+  /// buffers plus the hoisted per-op scratch (eltwise input-pointer list,
+  /// kMatStack2 vstack buffer) that used to be allocated per call.
+  struct Scratch {
+    std::map<std::string, std::vector<float>> regs;
+    std::vector<const float*> elt_ins;
+    std::vector<float> stacked;
+  };
 
   CellExecutor(const CellProgram& cell, const ModelParams& params);
 
@@ -178,6 +199,7 @@ class CellExecutor {
  private:
   void run_ops(const std::vector<CellOp>& ops,
                const std::vector<CompiledEltwise>& compiled,
+               const std::vector<std::vector<const float*>>& eparams,
                const std::vector<const float*>& child_states,
                std::int32_t word, float* out_state, Scratch& scratch) const;
 
@@ -185,7 +207,110 @@ class CellExecutor {
   const ModelParams& params_;
   std::vector<CompiledEltwise> leaf_compiled_;
   std::vector<CompiledEltwise> internal_compiled_;
+  /// Pre-resolved eltwise param pointers per op (order of the op's
+  /// CompiledEltwise::param_names()); empty vectors for non-eltwise ops.
+  std::vector<std::vector<const float*>> leaf_eparams_;
+  std::vector<std::vector<const float*>> internal_eparams_;
   Scratch regs_;
+};
+
+/// Batched wavefront executor: runs one cell program over a whole dynamic
+/// batch of nodes at once instead of node by node. Child states and
+/// embedding rows are gathered into contiguous [rows, width] register
+/// panels, every kMatVec becomes ONE panel GEMM (In @ W^T with the weight
+/// pre-transposed; the k accumulation order inside kernels::gemm matches
+/// kernels::gemv, so outputs are bit-identical to per-node execution),
+/// and eltwise ops evaluate vectorized across the panel. Registers live
+/// in a flat, index-addressed arena — no string maps on the hot path.
+///
+/// Immutable after construction: any number of threads may call run_batch
+/// concurrently as long as each passes its own Panels (the engine keeps
+/// one per pool worker and hands each worker a disjoint row range).
+class BatchedCellExecutor {
+ public:
+  /// Per-thread workspace for run_batch, reused across calls: the
+  /// register-panel arena, gather-index and register-written bookkeeping,
+  /// the kMatStack2 vstack buffer, and the execution stats the engine
+  /// drains into the profiler after a run.
+  struct Panels {
+    std::vector<float> arena;
+    std::vector<std::int32_t> idx;
+    std::vector<std::uint8_t> written;
+    std::vector<float> stacked;
+    // -- stats, accumulated across run_batch calls until drained --------
+    std::int64_t gemm_calls = 0;      ///< panel GEMMs issued (kMatVec)
+    std::int64_t panels_run = 0;      ///< run_batch invocations
+    std::int64_t max_panel_rows = 0;  ///< largest panel row count
+  };
+
+  /// Never throws for shapes the per-node path accepts: panel execution
+  /// needs strictly more than per-node execution does (e.g. eltwise input
+  /// registers exactly as wide as the output, <= 8 eltwise inputs), so a
+  /// cell that violates a panel-only invariant — or whose params are
+  /// malformed — just marks the executor unsupported() and callers fall
+  /// back to per-node execution (which raises the reference diagnostics).
+  BatchedCellExecutor(const CellProgram& cell, const ModelParams& params);
+
+  /// False when the cell program cannot run as panels; run_batch must
+  /// not be called then (the engine falls back to the per-node path).
+  bool supported() const { return supported_; }
+
+  /// Executes the leaf or internal program for `rows` consecutively
+  /// numbered nodes. `words` holds the per-row word ids; `child_offsets`
+  /// the per-row CSR offsets (rows + 1 entries, absolute indices into
+  /// `child_ids`); `states` the state table child rows are gathered from
+  /// (row stride = state_width); `out` the nodes' contiguous
+  /// [rows, state_width] destination rows. Same numeric semantics as
+  /// rows calls of CellExecutor::run_node, bit for bit.
+  void run_batch(bool leaf, std::int64_t rows, const std::int32_t* words,
+                 const std::int32_t* child_offsets,
+                 const std::int32_t* child_ids, const float* states,
+                 float* out, Panels& p) const;
+
+  /// Grows `p`'s buffers for panels of up to `rows` rows (optional; the
+  /// engine calls it once per run with the linearization's
+  /// max_batch_length so no growth happens inside the wavefront loop).
+  void reserve(std::int64_t rows, Panels& p) const;
+
+  const CellProgram& cell() const { return cell_; }
+  /// Total float width of one arena row (sum of register widths).
+  std::int64_t arena_width() const { return total_width_; }
+
+ private:
+  /// One cell op, pre-lowered for panel execution: register names
+  /// resolved to arena indices, weights resolved (and transposed for
+  /// kMatVec), eltwise compiled with param pointers pre-bound.
+  struct BatchedOp {
+    CellOpKind kind = CellOpKind::kEltwise;
+    std::int64_t width = 0;
+    int out_reg = -1;
+    std::vector<int> in_regs;
+    int child = 0;
+    std::int64_t offset = 0;
+    float constant = 0.0f;
+    Tensor param;       ///< kLeafEmbed table / kMatStack2 weight
+    Tensor param_t;     ///< kMatVec weight, transposed to (k, m)
+    std::int64_t k = 0; ///< kMatVec reduction width
+    CompiledEltwise compiled;
+    std::vector<const float*> eparams;
+    bool is_last = false;
+  };
+
+  std::vector<BatchedOp> compile_ops(const std::vector<CellOp>& ops) const;
+  void run_ops(const std::vector<BatchedOp>& bops, std::int64_t rows,
+               const std::int32_t* words, const std::int32_t* child_offsets,
+               const std::int32_t* child_ids, const float* states,
+               float* out, Panels& p) const;
+
+  const CellProgram& cell_;
+  const ModelParams& params_;
+  std::map<std::string, int> reg_index_;
+  std::vector<std::int64_t> reg_width_;   ///< by register index
+  std::vector<std::int64_t> reg_offset_;  ///< arena offset in row-widths
+  std::int64_t total_width_ = 0;
+  std::vector<BatchedOp> leaf_bops_;
+  std::vector<BatchedOp> internal_bops_;
+  bool supported_ = false;
 };
 
 }  // namespace cortex::models

@@ -31,6 +31,10 @@ void Profiler::accumulate(const Profiler& o) {
   host_threads = std::max(host_threads, o.host_threads);
   parallel_batches += o.parallel_batches;
   numerics_host_ns += o.numerics_host_ns;
+  batched_gemm_calls += o.batched_gemm_calls;
+  batched_panels += o.batched_panels;
+  // A high-water mark like host_threads, not an accumulating counter.
+  max_panel_rows = std::max(max_panel_rows, o.max_panel_rows);
   // pool_workers is likewise a configuration (max keeps it stable when
   // averaging pooled runs, and a merge of unpooled shards leaves it 0).
   pool_workers = std::max(pool_workers, o.pool_workers);
@@ -53,6 +57,9 @@ void Profiler::scale(double f) {
   host_other_ns *= f;
   parallel_batches = static_cast<std::int64_t>(parallel_batches * f);
   numerics_host_ns *= f;
+  batched_gemm_calls = static_cast<std::int64_t>(batched_gemm_calls * f);
+  batched_panels = static_cast<std::int64_t>(batched_panels * f);
+  // max_panel_rows is a high-water mark; averaging leaves it unchanged.
 }
 
 std::string Profiler::str() const {
@@ -65,6 +72,9 @@ std::string Profiler::str() const {
      << " compute=" << device_compute_ns * 1e-6 << "ms"
      << " kernels=" << kernel_launches << " api=" << host_api_ns * 1e-6
      << "ms host_threads=" << host_threads;
+  if (batched_gemm_calls > 0)
+    os << " panel_gemms=" << batched_gemm_calls
+       << " max_panel_rows=" << max_panel_rows;
   if (pool_workers > 0) os << " pool_workers=" << pool_workers;
   os << " total=" << total_latency_ms() << "ms";
   return os.str();

@@ -43,6 +43,18 @@ struct Profiler {
   /// (DESIGN.md §2's GPU substitution).
   double numerics_host_ns = 0.0;
 
+  // -- batched wavefront GEMMs (numeric executor) ----------------------------
+  /// Panel GEMMs the batched wavefront executor issued: each is one
+  /// kMatVec cell op run as a single [rows,k]x[k,m] GEMM over a whole
+  /// wavefront panel instead of rows separate GEMVs. 0 when the batched
+  /// path is off (CORTEX_BATCHED_GEMM=0 or no dynamic batching).
+  std::int64_t batched_gemm_calls = 0;
+  /// Node panels the batched executor gathered and ran (one per
+  /// contiguous row range per wavefront batch per worker thread).
+  std::int64_t batched_panels = 0;
+  /// Largest panel row count (nodes batched into one set of panel ops).
+  std::int64_t max_panel_rows = 0;
+
   // -- engine pool (sharded serving) ----------------------------------------
   /// Worker engines the pooled run sharded across (0 = not a pooled run).
   /// Per-shard sizes and per-worker wall/modeled times live in

@@ -62,6 +62,19 @@ void concat2(const float* a, const float* b, float* out, std::int64_t n);
 void gather_rows(const float* table, const std::int32_t* idx, float* out,
                  std::int64_t rows, std::int64_t width);
 
+/// Strided gather: out[r,:] = table[idx[r]*stride : idx[r]*stride+width].
+/// `stride` is the row stride of `table` in floats — gather_rows is the
+/// stride == width case. The batched wavefront executor uses this to pull
+/// a column slice (e.g. the h half of an [h; c] state) of many child
+/// rows into one contiguous panel.
+void gather_rows_strided(const float* table, std::int64_t stride,
+                         const std::int32_t* idx, float* out,
+                         std::int64_t rows, std::int64_t width);
+
+/// out[k,m] = a^T for row-major a[m,k]. Used once at executor build time
+/// to lay weights out so panel GEMMs (C = In @ W^T) keep B unit-stride.
+void transpose(const float* a, float* out, std::int64_t m, std::int64_t k);
+
 /// Scatter rows: table[idx[r],:] = in[r,:] for r in [0,rows).
 void scatter_rows(float* table, const std::int32_t* idx, const float* in,
                   std::int64_t rows, std::int64_t width);

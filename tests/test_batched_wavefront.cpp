@@ -1,0 +1,451 @@
+// Batched wavefront executor: the per-node path (CORTEX_BATCHED_GEMM=0)
+// is the regression oracle — every node state must be bit-identical to
+// the panel-GEMM path across the model zoo, schedules, batch sizes and
+// thread counts. Plus the kernel-level contracts the executor is built
+// on (panel GEMM == per-row GEMV bitwise, strided gather, transpose,
+// vectorized eltwise == scalar eltwise), the profiler's panel counters,
+// and EnginePool parity with batching enabled.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/engine.hpp"
+#include "exec/engine_pool.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/kernels.hpp"
+
+namespace cortex::exec {
+namespace {
+
+runtime::DeviceSpec gpu() { return runtime::DeviceSpec::v100_gpu(); }
+
+/// Scoped environment override restoring the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      saved_ = old;
+    }
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+linearizer::Linearized lin_for(const models::ModelDef& def,
+                               std::int64_t batch, std::uint64_t seed) {
+  Rng rng(seed);
+  linearizer::LinearizerSpec spec;
+  if (def.model) spec.kind = def.model->kind;
+  if (spec.kind == linearizer::StructureKind::kDag) {
+    std::vector<std::unique_ptr<ds::Dag>> dags;
+    for (std::int64_t b = 0; b < batch; ++b)
+      dags.push_back(ds::make_grid_dag(5, 5, rng));
+    return linearizer::linearize_dags(baselines::raw(dags), spec);
+  }
+  std::vector<std::unique_ptr<ds::Tree>> trees;
+  if (def.name == "SeqLSTM" || def.name == "SeqGRU") {
+    // Sequence models run over chains (the Fig. 9 workload shape).
+    for (std::int64_t b = 0; b < batch; ++b)
+      trees.push_back(ds::make_chain_tree(9, rng));
+  } else {
+    trees = ds::make_sst_like_batch(batch, rng);
+  }
+  return linearizer::linearize_trees(baselines::raw(trees), spec);
+}
+
+std::vector<ra::Schedule> schedules_for(const models::ModelDef& def) {
+  (void)def;
+  return {ra::Schedule{}, ra::Schedule::unoptimized(),
+          ra::Schedule::cavs_comparable()};
+}
+
+std::vector<float> all_states(const CortexEngine& engine,
+                              const linearizer::Linearized& lin,
+                              std::int64_t state_width) {
+  return std::vector<float>(
+      engine.last_states().data(),
+      engine.last_states().data() + lin.num_nodes * state_width);
+}
+
+// -- differential battery: batched vs per-node across the zoo ---------------------
+
+class BatchedZoo : public ::testing::TestWithParam<int> {
+ protected:
+  models::ModelDef def() const {
+    switch (GetParam()) {
+      case 0: return models::make_treernn_fig1(16);
+      case 1: return models::make_treefc_embed(16);
+      case 2: return models::make_treegru_embed(16);
+      case 3: return models::make_treelstm_embed(16);
+      case 4: return models::make_mvrnn(8);
+      case 5: return models::make_dagrnn(16);
+      case 6: return models::make_seq_lstm(16);
+      default: return models::make_treernn(16);
+    }
+  }
+};
+
+TEST_P(BatchedZoo, BatchedMatchesPerNodeBitwiseAcrossSchedulesAndThreads) {
+  const models::ModelDef def = this->def();
+  Rng rng(101);
+  const models::ModelParams params = models::init_params(def, rng);
+
+  for (const ra::Schedule& sched : schedules_for(def)) {
+    CortexEngine engine(def, params, sched, gpu());
+    for (const std::int64_t batch : {0, 1, 2, 5, 13}) {
+      if (batch == 0) {
+        // Empty mini-batch: both paths must return an empty result.
+        ScopedEnv off("CORTEX_BATCHED_GEMM", "0");
+        EXPECT_TRUE(engine.run_linearized(linearizer::Linearized{}, 0.0)
+                        .root_states.empty());
+        ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+        EXPECT_TRUE(engine.run_linearized(linearizer::Linearized{}, 0.0)
+                        .root_states.empty());
+        continue;
+      }
+      const linearizer::Linearized lin =
+          lin_for(def, batch, 101 + static_cast<std::uint64_t>(batch));
+      for (const int threads : {1, 4}) {
+        engine.set_num_threads(threads);
+
+        runtime::RunResult ref;
+        std::vector<float> ref_states;
+        {
+          ScopedEnv off("CORTEX_BATCHED_GEMM", "0");
+          ref = engine.run_linearized(lin, 0.0);
+          ref_states = all_states(engine, lin, def.cell.state_width);
+          // The escape hatch really selects the per-node path.
+          EXPECT_EQ(ref.profiler.batched_gemm_calls, 0);
+          EXPECT_EQ(ref.profiler.batched_panels, 0);
+          EXPECT_EQ(ref.profiler.max_panel_rows, 0);
+        }
+
+        ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+        const runtime::RunResult batched = engine.run_linearized(lin, 0.0);
+        const std::vector<float> batched_states =
+            all_states(engine, lin, def.cell.state_width);
+
+        EXPECT_EQ(batched.root_states, ref.root_states)
+            << def.name << " batch=" << batch << " threads=" << threads;
+        // Stronger than roots: every node state bit-identical.
+        EXPECT_EQ(batched_states, ref_states)
+            << def.name << " batch=" << batch << " threads=" << threads;
+        // Device accounting is independent of the host execution mode.
+        EXPECT_EQ(batched.profiler.kernel_launches,
+                  ref.profiler.kernel_launches);
+        EXPECT_EQ(batched.profiler.device_flops, ref.profiler.device_flops);
+        if (engine.plan().dynamic_batching) {
+          EXPECT_GT(batched.profiler.batched_panels, 0);
+          EXPECT_LE(batched.profiler.max_panel_rows, lin.max_batch_length());
+          if (engine.plan().host_panel_gemms_internal > 0 &&
+              lin.num_batches() > 1) {
+            EXPECT_GT(batched.profiler.batched_gemm_calls, 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, BatchedZoo, ::testing::Range(0, 8));
+
+// -- exact panel accounting at one thread -----------------------------------------
+
+TEST(BatchedProfile, SingleThreadCountsMatchPlanMetadata) {
+  // One thread, homogeneous wavefronts: exactly one panel per dynamic
+  // batch, and the plan's per-batch matvec counts pin the GEMM total.
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  for (const auto& make :
+       {+[] { return models::make_treelstm_embed(16); },
+        +[] { return models::make_dagrnn(16); }}) {
+    const models::ModelDef def = make();
+    Rng rng(7);
+    const models::ModelParams params = models::init_params(def, rng);
+    const linearizer::Linearized lin = lin_for(def, 5, 77);
+
+    CortexEngine engine(def, params, ra::Schedule{}, gpu());
+    engine.set_num_threads(1);
+    const runtime::RunResult r = engine.run_linearized(lin, 0.0);
+    const Plan& plan = engine.plan();
+
+    EXPECT_EQ(r.profiler.batched_panels, lin.num_batches()) << def.name;
+    EXPECT_EQ(r.profiler.max_panel_rows, lin.max_batch_length()) << def.name;
+    EXPECT_EQ(r.profiler.batched_gemm_calls,
+              plan.host_panel_gemms_leaf +
+                  (lin.num_batches() - 1) * plan.host_panel_gemms_internal)
+        << def.name;
+  }
+}
+
+TEST(BatchedProfile, PanelStatsResetBetweenRuns) {
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  const models::ModelDef def = models::make_treelstm_embed(16);
+  Rng rng(9);
+  const models::ModelParams params = models::init_params(def, rng);
+  const linearizer::Linearized lin = lin_for(def, 3, 9);
+
+  CortexEngine engine(def, params, ra::Schedule{}, gpu());
+  engine.set_num_threads(1);
+  const runtime::RunResult a = engine.run_linearized(lin, 0.0);
+  const runtime::RunResult b = engine.run_linearized(lin, 0.0);
+  EXPECT_EQ(a.profiler.batched_gemm_calls, b.profiler.batched_gemm_calls);
+  EXPECT_EQ(a.profiler.batched_panels, b.profiler.batched_panels);
+  EXPECT_EQ(a.root_states, b.root_states);
+}
+
+TEST(BatchedProfile, ThrowingRunDoesNotLeakStatsIntoNextRun) {
+  // A run that throws mid-wavefront leaves partial per-worker counters;
+  // the next run must start from zero, not drain the leftovers.
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  const models::ModelDef def = models::make_treelstm_embed(16);
+  Rng rng(15);
+  const models::ModelParams params = models::init_params(def, rng);
+  const linearizer::Linearized lin = lin_for(def, 3, 15);
+
+  CortexEngine engine(def, params, ra::Schedule{}, gpu());
+  engine.set_num_threads(1);
+  const runtime::RunResult good = engine.run_linearized(lin, 0.0);
+
+  linearizer::Linearized bad = lin;
+  bad.word[static_cast<std::size_t>(bad.num_nodes) - 1] = 1 << 20;
+  EXPECT_THROW(engine.run_linearized(bad, 0.0), Error);
+
+  const runtime::RunResult after = engine.run_linearized(lin, 0.0);
+  EXPECT_EQ(after.profiler.batched_panels, good.profiler.batched_panels);
+  EXPECT_EQ(after.profiler.batched_gemm_calls,
+            good.profiler.batched_gemm_calls);
+  EXPECT_EQ(after.profiler.max_panel_rows, good.profiler.max_panel_rows);
+  EXPECT_EQ(after.root_states, good.root_states);
+
+  // And a per-node run right after a batched one reports zeros, not the
+  // batched run's drained-but-stale counters.
+  ScopedEnv off("CORTEX_BATCHED_GEMM", "0");
+  const runtime::RunResult per_node = engine.run_linearized(lin, 0.0);
+  EXPECT_EQ(per_node.profiler.batched_panels, 0);
+  EXPECT_EQ(per_node.profiler.batched_gemm_calls, 0);
+}
+
+// -- non-dynamic-batching schedules never touch the batched path ------------------
+
+TEST(BatchedDispatch, NoDynamicBatchingFallsBackToPerNode) {
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  const models::ModelDef def = models::make_treelstm_embed(16);
+  Rng rng(11);
+  const models::ModelParams params = models::init_params(def, rng);
+  const linearizer::Linearized lin = lin_for(def, 4, 11);
+
+  ra::Schedule s;
+  s.dynamic_batching = false;
+  CortexEngine unbatched(def, params, s, gpu());
+  const runtime::RunResult r = unbatched.run_linearized(lin, 0.0);
+  EXPECT_EQ(r.profiler.batched_gemm_calls, 0);
+  EXPECT_EQ(r.profiler.batched_panels, 0);
+
+  // Same numerics as the dynamic-batching engine, bit for bit.
+  CortexEngine batched(def, params, ra::Schedule{}, gpu());
+  const runtime::RunResult rb = batched.run_linearized(lin, 0.0);
+  EXPECT_EQ(rb.root_states, r.root_states);
+}
+
+// -- panel-incompatible cells fall back, not fail ---------------------------------
+
+TEST(BatchedDispatch, PanelIncompatibleCellFallsBackToPerNode) {
+  // An eltwise op reading a register WIDER than its output is legal for
+  // per-node execution (it reads the first op.width elements) but has no
+  // panel layout. Engine construction must succeed — even with batching
+  // requested — and runs must take the per-node path.
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  models::ModelDef def;
+  def.name = "WideEltwiseCell";
+  def.hidden = 8;
+  def.cell.state_width = 8;
+  def.cell.num_children = 2;
+  models::CellOp full;
+  full.kind = models::CellOpKind::kSliceChild;
+  full.out = "a";
+  full.width = 8;
+  full.child = 0;
+  models::CellOp half;
+  half.kind = models::CellOpKind::kEltwise;
+  half.out = "t";
+  half.width = 4;  // narrower than its input "a" (8)
+  half.ins = {"a"};
+  half.expr = ra::call(ra::CallFn::kTanh, ra::var("e0"));
+  models::CellOp st;
+  st.kind = models::CellOpKind::kConcat2;
+  st.out = "st";
+  st.width = 8;
+  st.ins = {"t", "t"};
+  def.cell.internal_ops = {full, half, st};
+  models::CellOp leaf;
+  leaf.kind = models::CellOpKind::kLeafConst;
+  leaf.out = "st";
+  leaf.width = 8;
+  leaf.constant = 0.25;
+  def.cell.leaf_ops = {leaf};
+  def.cell.validate();
+
+  models::ModelParams params;  // the cell reads no params
+  const models::BatchedCellExecutor direct(def.cell, params);
+  EXPECT_FALSE(direct.supported());
+
+  Rng rng(31);
+  auto trees = ds::make_sst_like_batch(2, rng);
+  const std::vector<const ds::Tree*> raw = baselines::raw(trees);
+  CortexEngine engine(def, params, ra::Schedule{}, gpu());
+  const runtime::RunResult got = engine.run(raw);
+  EXPECT_EQ(got.profiler.batched_panels, 0);
+  EXPECT_EQ(got.profiler.batched_gemm_calls, 0);
+
+  ScopedEnv off("CORTEX_BATCHED_GEMM", "0");
+  const runtime::RunResult ref = engine.run(raw);
+  EXPECT_EQ(got.root_states, ref.root_states);
+}
+
+// -- engine pool parity with batching enabled -------------------------------------
+
+TEST(BatchedEnginePool, PoolMatchesSingleEngineWithBatchingOn) {
+  ScopedEnv on("CORTEX_BATCHED_GEMM", nullptr);
+  const models::ModelDef def = models::make_treelstm_embed(16);
+  Rng rng(13);
+  const models::ModelParams params = models::init_params(def, rng);
+  auto trees = ds::make_sst_like_batch(13, rng);
+  const std::vector<const ds::Tree*> raw = baselines::raw(trees);
+
+  CortexEngine single(def, params, ra::Schedule{}, gpu());
+  const runtime::RunResult expect = single.run(raw);
+  ASSERT_GT(expect.profiler.batched_panels, 0);
+
+  for (const int workers : {1, 4}) {
+    EnginePoolOptions opts;
+    opts.workers = workers;
+    EnginePool pool(def, params, ra::Schedule{}, gpu(), opts);
+    const runtime::RunResult got = pool.run(raw);
+    EXPECT_EQ(got.root_states, expect.root_states) << workers << " workers";
+    // The merged profiler aggregates every shard's panel counters.
+    EXPECT_GT(got.profiler.batched_panels, 0) << workers << " workers";
+  }
+}
+
+// -- kernel-level contracts the executor is built on ------------------------------
+
+TEST(PanelKernels, PanelGemmBitIdenticalToPerRowGemv) {
+  // The load-bearing numerics contract: C = In @ W^T computed by
+  // kernels::gemm (tiled microkernel) must equal per-row kernels::gemv
+  // bit for bit, for sizes exercising every tile/tail/k-block path.
+  Rng rng(17);
+  for (const auto [rows, k, m] :
+       {std::array<std::int64_t, 3>{1, 3, 2},
+        std::array<std::int64_t, 3>{4, 16, 16},
+        std::array<std::int64_t, 3>{5, 64, 32},
+        std::array<std::int64_t, 3>{13, 100, 7},
+        std::array<std::int64_t, 3>{64, 256, 256}}) {
+    const Tensor in = Tensor::uniform(Shape{rows, k}, rng, -1.0f, 1.0f);
+    const Tensor w = Tensor::uniform(Shape{m, k}, rng, -1.0f, 1.0f);
+    Tensor wt(Shape{k, m});
+    kernels::transpose(w.data(), wt.data(), m, k);
+
+    Tensor by_gemv(Shape{rows, m});
+    for (std::int64_t r = 0; r < rows; ++r)
+      kernels::gemv(w.data(), in.row(r), by_gemv.row(r), m, k);
+    Tensor by_gemm(Shape{rows, m});
+    kernels::gemm(in.data(), wt.data(), by_gemm.data(), rows, k, m);
+
+    for (std::int64_t i = 0; i < rows * m; ++i)
+      ASSERT_EQ(by_gemm.data()[i], by_gemv.data()[i])
+          << "rows=" << rows << " k=" << k << " m=" << m << " elem " << i;
+  }
+}
+
+TEST(PanelKernels, TiledGemmMatchesNaiveReference) {
+  Rng rng(19);
+  for (const auto [mm, kk, nn] :
+       {std::array<std::int64_t, 3>{5, 7, 3},
+        std::array<std::int64_t, 3>{9, 65, 17}}) {
+    const Tensor a = Tensor::uniform(Shape{mm, kk}, rng, -1.0f, 1.0f);
+    const Tensor b = Tensor::uniform(Shape{kk, nn}, rng, -1.0f, 1.0f);
+    Tensor c(Shape{mm, nn});
+    Tensor c_ref(Shape{mm, nn});
+    kernels::gemm(a.data(), b.data(), c.data(), mm, kk, nn);
+    kernels::gemm_naive(a.data(), b.data(), c_ref.data(), mm, kk, nn);
+    for (std::int64_t i = 0; i < mm * nn; ++i)
+      ASSERT_NEAR(c.data()[i], c_ref.data()[i], 1e-4f);
+  }
+}
+
+TEST(PanelKernels, GatherRowsStridedPullsColumnSlices) {
+  // table rows of stride 4; gather the [1, 3) column slice of rows 2,0,2.
+  const std::vector<float> table = {0, 1, 2, 3,  10, 11, 12, 13,
+                                    20, 21, 22, 23};
+  const std::vector<std::int32_t> idx = {2, 0, 2};
+  std::vector<float> out(6, -1.0f);
+  kernels::gather_rows_strided(table.data() + 1, 4, idx.data(), out.data(),
+                               3, 2);
+  EXPECT_EQ(out, (std::vector<float>{21, 22, 1, 2, 21, 22}));
+}
+
+TEST(PanelKernels, TransposeRoundTrips) {
+  Rng rng(23);
+  const Tensor a = Tensor::uniform(Shape{3, 5}, rng);
+  Tensor t(Shape{5, 3});
+  kernels::transpose(a.data(), t.data(), 3, 5);
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t p = 0; p < 5; ++p)
+      EXPECT_EQ(t.data()[p * 3 + i], a.data()[i * 5 + p]);
+}
+
+TEST(PanelEltwise, EvalPanelBitIdenticalToScalarEval) {
+  // sigmoid(e0 * e1 + b[i]) over a [rows, width] panel vs element by
+  // element — the vectorized interpreter must agree bit for bit,
+  // including across its strip boundary (width > 64).
+  const ra::Expr expr =
+      ra::call(ra::CallFn::kSigmoid,
+               ra::add(ra::mul(ra::var("e0"), ra::var("e1")),
+                       ra::load("b", {ra::var("i")})));
+  models::CompiledEltwise ce(expr);
+
+  const std::int64_t rows = 5, width = 100;
+  Rng rng(29);
+  const Tensor in0 = Tensor::uniform(Shape{rows, width}, rng, -2.0f, 2.0f);
+  const Tensor in1 = Tensor::uniform(Shape{rows, width}, rng, -2.0f, 2.0f);
+  const Tensor bias = Tensor::uniform(Shape{width}, rng, -2.0f, 2.0f);
+
+  const float* ins[2] = {in0.data(), in1.data()};
+  const float* params[1] = {bias.data()};
+  std::vector<float> panel(static_cast<std::size_t>(rows * width));
+  ce.eval_panel(rows, width, ins, params, panel.data());
+
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t i = 0; i < width; ++i) {
+      const float* row_ins[2] = {in0.row(r), in1.row(r)};
+      ASSERT_EQ(panel[static_cast<std::size_t>(r * width + i)],
+                ce.eval(i, row_ins, params))
+          << "r=" << r << " i=" << i;
+    }
+}
+
+}  // namespace
+}  // namespace cortex::exec
