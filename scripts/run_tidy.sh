@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources with the repo's .clang-tidy
+# profile (bugprone / concurrency / performance / modernize-use-override).
+#
+#   scripts/run_tidy.sh [build-dir] [-- extra clang-tidy args...]
+#
+# Requires a build directory configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the script configures one under
+# build-tidy/ when the default is missing). Exits 0 with a notice when
+# clang-tidy is not installed, so local runs on minimal containers and
+# the advisory CI job degrade gracefully rather than fail the world.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tidy}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (advisory)." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring ${build_dir} for compile_commands.json"
+  cmake -S "${repo_root}" -B "${build_dir}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+echo "run_tidy.sh: ${tidy_bin} over ${#sources[@]} files"
+
+status=0
+"${tidy_bin}" -p "${build_dir}" --quiet "$@" "${sources[@]}" || status=$?
+exit "${status}"

@@ -68,6 +68,10 @@ IlirRun run_ilir(const ilir::Program& program,
   ev.bind_structure();
 
   for (const ilir::Buffer& b : program.buffers) {
+    // Integer buffers are linearizer arrays (exec_order, batch_begin,
+    // batch_length): bind_structure() already bound them from `lin`;
+    // allocating a float tensor here would shadow that binding.
+    if (b.dtype == ra::DType::kInt) continue;
     auto pit = params.tensors.find(b.name);
     if (pit != params.tensors.end()) {
       // Model parameter: bind the user's tensor (const in spirit; the

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "ilir/passes.hpp"
+#include "ilir/verify.hpp"
 #include "runtime/profiler.hpp"
 
 namespace cortex::exec {
@@ -20,21 +21,28 @@ CompiledArtifacts compile_artifacts(const models::ModelDef& def,
     // model; the lowered program is the compiler's ILIR artifact.
     lowering::LoweredModel lm = lowering::lower(*def.model, schedule);
     // Apply the schedule's ILIR-level optimizations to produce the
-    // target program (what codegen_c would emit for the device).
-    ilir::Program p = lm.program;
-    const std::vector<std::string> live_out = {lm.output};
-    if (schedule.fusion == ra::FusionLevel::kMaximal) {
-      p = ilir::fuse_elementwise_loops(p);
-      p = ilir::forward_stores(p);
-      p = ilir::eliminate_dead_stores(p, live_out);
+    // target program (what codegen_c would emit for the device). Under
+    // CORTEX_ILIR_VERIFY, the static verifier (def-use, bounds, barrier
+    // and scope legality) runs on the lowered program and after every
+    // pass, so the first pass to emit ill-formed IR is the one blamed.
+    ilir::PassObserver observe;
+    if (ilir::verify_enabled()) {
+      ilir::verify_or_throw(lm.program, "lower");
+      observe = [](const std::string& pass, const ilir::Program& after) {
+        ilir::VerifyOptions opt;
+        // Barrier-presence legality only holds once barriers exist.
+        opt.require_barriers = pass == "insert_barriers";
+        ilir::verify_or_throw(after, pass, opt);
+      };
     }
-    if (schedule.dense_intermediates && schedule.dynamic_batching)
-      p = ilir::dense_index_intermediates(p, "node", "n_idx",
-                                          "max_batch_size", live_out);
-    if (schedule.loop_peeling && schedule.dynamic_batching)
-      p = ilir::peel_variable_loop(p, 4);
-    p = ilir::insert_barriers(p, schedule.improved_barrier_placement);
-    a.optimized = std::move(p);
+    ilir::PipelineConfig cfg;
+    cfg.fuse = schedule.fusion == ra::FusionLevel::kMaximal;
+    cfg.dense_index =
+        schedule.dense_intermediates && schedule.dynamic_batching;
+    cfg.peel = schedule.loop_peeling && schedule.dynamic_batching;
+    cfg.improved_barriers = schedule.improved_barrier_placement;
+    cfg.live_out = {lm.output};
+    a.optimized = ilir::apply_schedule_passes(lm.program, cfg, observe);
     a.lowered = std::move(lm);
   } else {
     // Cell-only models (the sequential Fig. 9 cells) still respect the

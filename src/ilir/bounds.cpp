@@ -1,44 +1,71 @@
 #include "ilir/bounds.hpp"
 
 #include <map>
+#include <sstream>
+#include <utility>
 
 namespace cortex::ilir {
 
-void infer_bounds(Program& program) {
+using support::Diagnostic;
+using support::Severity;
+
+std::vector<Diagnostic> infer_bounds_diags(Program& program) {
+  std::vector<Diagnostic> diags;
   std::map<std::string, Expr> extents;
   for (const auto& [dim, extent] : program.dim_extents)
     extents.emplace(dim, extent);
   for (Buffer& b : program.buffers) {
     if (!b.shape.empty()) continue;
-    CORTEX_CHECK(!b.dims.empty())
-        << "buffer " << b.name << " has neither shape nor named dims";
+    if (b.dims.empty()) {
+      diags.push_back({Severity::kError, "dim", "buffer(" + b.name + ")",
+                       "buffer " + b.name + " has neither shape nor named dims"});
+      continue;
+    }
     for (const std::string& d : b.dims) {
       auto it = extents.find(d);
-      CORTEX_CHECK(it != extents.end())
-          << "buffer " << b.name << " uses unregistered dimension '" << d
-          << "'";
+      if (it == extents.end()) {
+        diags.push_back({Severity::kError, "dim", "buffer(" + b.name + ")",
+                         "buffer " + b.name + " uses unregistered dimension '" +
+                             d + "'"});
+        continue;
+      }
       b.shape.push_back(it->second);
     }
   }
+  return diags;
+}
+
+void infer_bounds(Program& program) {
+  const std::vector<Diagnostic> diags = infer_bounds_diags(program);
+  CORTEX_CHECK(!support::has_errors(diags)) << support::format(diags);
 }
 
 namespace {
 
-/// Collects the dimension annotation of each loop/let variable in scope.
-void check_rec(const Program& p, const Stmt& s,
-               std::map<std::string, std::string>& var_dims) {
-  if (!s) return;
+/// Collects the dimension annotation of each loop/let variable in scope
+/// and appends a "dim" diagnostic for every dimension-incompatible direct
+/// index, with the statement path of the access.
+class DimChecker {
+ public:
+  explicit DimChecker(const Program& p) : p_(p) {}
+
+  std::vector<Diagnostic> run() {
+    rec(p_.body);
+    return std::move(diags_);
+  }
+
+ private:
   // A variable of dimension `vd` may index buffer dimension `bd` when the
   // names match, or when both extents are compile-time constants and the
   // variable's range fits inside the buffer's (subrange access: e.g. a
   // per-gate d_w256 loop reading the h-half of a 512-wide [h;c] state).
   // Cross-space symbolic mismatches (§A.2's "indexing rnn by b_idx")
   // stay rejected.
-  auto dims_compatible = [&](const std::string& vd, const std::string& bd) {
+  bool dims_compatible(const std::string& vd, const std::string& bd) const {
     if (vd == bd) return true;
     const Expr* ve = nullptr;
     const Expr* be = nullptr;
-    for (const auto& [name, extent] : p.dim_extents) {
+    for (const auto& [name, extent] : p_.dim_extents) {
       if (name == vd) ve = &extent;
       if (name == bd) be = &extent;
     }
@@ -47,86 +74,124 @@ void check_rec(const Program& p, const Stmt& s,
         (*be)->kind != ra::ExprKind::kIntImm)
       return false;
     return (*ve)->iimm <= (*be)->iimm;
-  };
-  auto check_indices = [&](const std::string& buffer,
-                           const std::vector<Expr>& indices) {
-    const Buffer* b = p.find_buffer(buffer);
+  }
+
+  std::string path() const {
+    std::string out;
+    for (const std::string& seg : path_) {
+      if (!out.empty()) out += "/";
+      out += seg;
+    }
+    return out.empty() ? "<top>" : out;
+  }
+
+  void report(const std::string& message) {
+    diags_.push_back({Severity::kError, "dim", path(), message});
+  }
+
+  void check_indices(const std::string& buffer,
+                     const std::vector<Expr>& indices) {
+    const Buffer* b = p_.find_buffer(buffer);
     if (b == nullptr || b->dims.empty()) return;
-    CORTEX_CHECK(indices.size() == b->dims.size())
-        << "buffer " << buffer << " indexed with " << indices.size()
-        << " indices but has " << b->dims.size() << " named dimensions";
+    if (indices.size() != b->dims.size()) {
+      std::ostringstream os;
+      os << "buffer " << buffer << " indexed with " << indices.size()
+         << " indices but has " << b->dims.size() << " named dimensions";
+      report(os.str());
+      return;
+    }
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const Expr& idx = indices[k];
       if (idx->kind != ra::ExprKind::kVar) continue;  // only direct vars
-      auto it = var_dims.find(idx->name);
-      if (it == var_dims.end() || it->second.empty()) continue;
-      CORTEX_CHECK(dims_compatible(it->second, b->dims[k]))
-          << "dimension mismatch: buffer '" << buffer << "' dimension " << k
-          << " is '" << b->dims[k] << "' but is indexed by variable '"
-          << idx->name << "' of dimension '" << it->second << "'";
+      auto it = var_dims_.find(idx->name);
+      if (it == var_dims_.end() || it->second.empty()) continue;
+      if (dims_compatible(it->second, b->dims[k])) continue;
+      std::ostringstream os;
+      os << "dimension mismatch: buffer '" << buffer << "' dimension " << k
+         << " is '" << b->dims[k] << "' but is indexed by variable '"
+         << idx->name << "' of dimension '" << it->second << "'";
+      report(os.str());
     }
-  };
+  }
 
   // Check loads appearing in any expression of this statement.
-  auto check_expr_loads = [&](const Expr& e) {
+  void check_expr_loads(const Expr& e) {
     if (!e) return;
-    std::function<void(const Expr&)> walk = [&](const Expr& x) {
-      if (x->kind == ra::ExprKind::kLoad) check_indices(x->name, x->args);
-      for (const Expr& a : x->args) walk(a);
-    };
-    walk(e);
-  };
-
-  switch (s->kind) {
-    case StmtKind::kFor: {
-      check_expr_loads(s->min);
-      check_expr_loads(s->extent);
-      const bool had = var_dims.count(s->var) > 0;
-      const std::string prev = had ? var_dims[s->var] : "";
-      var_dims[s->var] = s->dim;
-      check_rec(p, s->body, var_dims);
-      if (had)
-        var_dims[s->var] = prev;
-      else
-        var_dims.erase(s->var);
-      break;
-    }
-    case StmtKind::kLet: {
-      check_expr_loads(s->value);
-      const bool had = var_dims.count(s->var) > 0;
-      const std::string prev = had ? var_dims[s->var] : "";
-      var_dims[s->var] = s->dim;
-      check_rec(p, s->body, var_dims);
-      if (had)
-        var_dims[s->var] = prev;
-      else
-        var_dims.erase(s->var);
-      break;
-    }
-    case StmtKind::kStore:
-      check_indices(s->buffer, s->indices);
-      check_expr_loads(s->value);
-      for (const Expr& e : s->indices) check_expr_loads(e);
-      break;
-    case StmtKind::kSeq:
-      for (const Stmt& t : s->stmts) check_rec(p, t, var_dims);
-      break;
-    case StmtKind::kIf:
-      check_expr_loads(s->cond);
-      check_rec(p, s->then_s, var_dims);
-      check_rec(p, s->else_s, var_dims);
-      break;
-    case StmtKind::kBarrier:
-    case StmtKind::kComment:
-      break;
+    if (e->kind == ra::ExprKind::kLoad) check_indices(e->name, e->args);
+    for (const Expr& a : e->args) check_expr_loads(a);
   }
-}
+
+  template <typename Fn>
+  void with_var_dim(const std::string& var, const std::string& dim,
+                    const Fn& fn) {
+    const bool had = var_dims_.count(var) > 0;
+    const std::string prev = had ? var_dims_[var] : "";
+    var_dims_[var] = dim;
+    fn();
+    if (had)
+      var_dims_[var] = prev;
+    else
+      var_dims_.erase(var);
+  }
+
+  void rec(const Stmt& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case StmtKind::kFor:
+        path_.push_back("for(" + s->var + ")");
+        check_expr_loads(s->min);
+        check_expr_loads(s->extent);
+        with_var_dim(s->var, s->dim, [&] { rec(s->body); });
+        path_.pop_back();
+        break;
+      case StmtKind::kLet:
+        path_.push_back("let(" + s->var + ")");
+        check_expr_loads(s->value);
+        with_var_dim(s->var, s->dim, [&] { rec(s->body); });
+        path_.pop_back();
+        break;
+      case StmtKind::kStore:
+        path_.push_back("store(" + s->buffer + ")");
+        check_indices(s->buffer, s->indices);
+        check_expr_loads(s->value);
+        for (const Expr& e : s->indices) check_expr_loads(e);
+        path_.pop_back();
+        break;
+      case StmtKind::kSeq:
+        for (std::size_t i = 0; i < s->stmts.size(); ++i) {
+          path_.push_back("seq[" + std::to_string(i) + "]");
+          rec(s->stmts[i]);
+          path_.pop_back();
+        }
+        break;
+      case StmtKind::kIf:
+        path_.push_back("if");
+        check_expr_loads(s->cond);
+        rec(s->then_s);
+        rec(s->else_s);
+        path_.pop_back();
+        break;
+      case StmtKind::kBarrier:
+      case StmtKind::kComment:
+        break;
+    }
+  }
+
+  const Program& p_;
+  std::map<std::string, std::string> var_dims_;
+  std::vector<std::string> path_;
+  std::vector<Diagnostic> diags_;
+};
 
 }  // namespace
 
+std::vector<Diagnostic> check_named_dims_diags(const Program& program) {
+  return DimChecker(program).run();
+}
+
 void check_named_dims(const Program& program) {
-  std::map<std::string, std::string> var_dims;
-  check_rec(program, program.body, var_dims);
+  const std::vector<Diagnostic> diags = check_named_dims_diags(program);
+  CORTEX_CHECK(!support::has_errors(diags)) << support::format(diags);
 }
 
 }  // namespace cortex::ilir

@@ -10,20 +10,38 @@
 //   (1) fills in unknown buffer shapes from the dimension registry, and
 //   (2) checks that direct variable indexing is dimension-correct (it
 //       "does not make sense to index rnn by b_idx" — §A.2).
+//
+// Both checks come in two flavours: a *_diags form that collects every
+// violation as a support::Diagnostic with a statement path (the form the
+// ILIR verifier composes with), and the original throwing form, now a
+// thin wrapper that raises on the first reported error.
 
 #include "ilir/ilir.hpp"
+#include "support/diagnostic.hpp"
 
 namespace cortex::ilir {
 
 /// Fills empty buffer shapes from the program's dim_extents registry.
-/// Throws cortex::Error if a buffer references an unregistered dimension.
+/// Returns one "dim" diagnostic per buffer referencing an unregistered
+/// dimension (or with neither shape nor dims); such buffers keep the
+/// partial shape filled so far.
+std::vector<support::Diagnostic> infer_bounds_diags(Program& program);
+
+/// Throwing wrapper over infer_bounds_diags: raises cortex::Error listing
+/// every violation at once.
 void infer_bounds(Program& program);
 
 /// Checks dimension-correct indexing: wherever a Store or Load indexes a
 /// dimension with a *plain variable*, the variable's annotated dimension
 /// must match the buffer's (indirect accesses through uninterpreted
 /// functions are exempt — they are exactly the non-affine accesses §5.1
-/// allows). Throws cortex::Error on the first violation.
+/// allows). Returns ALL violations as "dim" diagnostics carrying the
+/// statement path of the offending access.
+std::vector<support::Diagnostic> check_named_dims_diags(
+    const Program& program);
+
+/// Throwing wrapper over check_named_dims_diags: raises cortex::Error
+/// listing every violation at once.
 void check_named_dims(const Program& program);
 
 }  // namespace cortex::ilir

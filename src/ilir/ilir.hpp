@@ -116,6 +116,12 @@ struct Program {
   std::vector<Buffer> buffers;
   /// Named-dimension extents (e.g. "d_hidden" -> 256, "d_node" -> N).
   std::vector<std::pair<std::string, Expr>> dim_extents;
+  /// Free runtime scalar symbols the program may reference without an
+  /// enclosing kFor/kLet binding ("N", "num_leaves", ...). The runtime
+  /// binds them per inference (Evaluator::bind_scalar / the engine); the
+  /// static verifier treats any variable outside this list and outside
+  /// every loop/let scope as a def-before-use error.
+  std::vector<std::string> params;
   Stmt body;
 
   const Buffer* find_buffer(const std::string& name) const;

@@ -466,4 +466,31 @@ Program annotate_loop(const Program& p, const std::string& var,
   return out;
 }
 
+Program apply_schedule_passes(Program p, const PipelineConfig& cfg,
+                              const PassObserver& observe) {
+  auto ran = [&](const char* pass) {
+    if (observe) observe(pass, p);
+  };
+  if (cfg.fuse) {
+    p = fuse_elementwise_loops(p);
+    ran("fuse_elementwise_loops");
+    p = forward_stores(p);
+    ran("forward_stores");
+    p = eliminate_dead_stores(p, cfg.live_out);
+    ran("eliminate_dead_stores");
+  }
+  if (cfg.dense_index) {
+    p = dense_index_intermediates(p, "node", "n_idx", "max_batch_size",
+                                  cfg.live_out);
+    ran("dense_index_intermediates");
+  }
+  if (cfg.peel) {
+    p = peel_variable_loop(p, cfg.peel_factor);
+    ran("peel_variable_loop");
+  }
+  p = insert_barriers(p, cfg.improved_barriers);
+  ran("insert_barriers");
+  return p;
+}
+
 }  // namespace cortex::ilir

@@ -18,6 +18,7 @@
 //                              check-free unrolled main loop + tail (§A.5)
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,5 +88,32 @@ Program reorder_loops(const Program& p, const std::string& outer,
 /// unroll / parallel); a pure marking transform consumed by codegen.
 Program annotate_loop(const Program& p, const std::string& var,
                       ForKind kind);
+
+// -- pipeline driver -----------------------------------------------------------
+
+/// Called after every applied pass with the pass name and the program it
+/// produced. exec::compile_artifacts hooks the static verifier
+/// (ilir/verify.hpp) in here when CORTEX_ILIR_VERIFY is set, so a pass
+/// that emits ill-formed IR is attributed to the pass, not to whatever
+/// downstream consumer happens to trip over it first.
+using PassObserver =
+    std::function<void(const std::string& pass, const Program& after)>;
+
+/// Which schedule-driven passes to run; mirrors the ra::Schedule knobs.
+struct PipelineConfig {
+  bool fuse = false;              ///< fusion trio (fuse/forward/DSE)
+  bool dense_index = false;       ///< §5.1 dense indexing of intermediates
+  bool peel = false;              ///< §A.5 variable-loop peeling
+  std::int64_t peel_factor = 4;
+  bool improved_barriers = true;  ///< §A.4 placement (false = TVM-style)
+  std::vector<std::string> live_out;
+};
+
+/// Runs the standard pass pipeline in its canonical order — fusion trio,
+/// dense indexing, peeling, barrier insertion — invoking `observe` after
+/// each pass that actually ran. The pass names reported are the function
+/// names ("fuse_elementwise_loops", ..., "insert_barriers").
+Program apply_schedule_passes(Program p, const PipelineConfig& cfg,
+                              const PassObserver& observe = nullptr);
 
 }  // namespace cortex::ilir

@@ -169,6 +169,30 @@ LoweredModel lower(const ra::Model& model, const ra::Schedule& schedule) {
   add_temporaries(leaf_chain);
   add_temporaries(internal_chain);
 
+  // Linearizer arrays the loop structure reads (batch descriptors or the
+  // topological order) are declared as integer buffers with symbolic
+  // shapes: the runtime binds them from the LinearizedBatch before
+  // execution, and the static verifier checks them like any other buffer
+  // instead of treating their loads as references to undeclared names.
+  auto add_int_buffer = [&](const std::string& name, Expr extent) {
+    ilir::Buffer b;
+    b.name = name;
+    b.shape = {std::move(extent)};
+    b.dtype = ra::DType::kInt;
+    prog.buffers.push_back(std::move(b));
+  };
+  if (schedule.dynamic_batching) {
+    add_int_buffer("batch_begin", ra::var("num_batches"));
+    add_int_buffer("batch_length", ra::var("num_batches"));
+  } else {
+    add_int_buffer("exec_order", ra::var("N"));
+  }
+
+  // Free runtime scalars the body and shapes may reference without an
+  // enclosing binding; the engine binds them per inference.
+  prog.params = {"N",           "num_leaves",          "first_leaf_id",
+                 "num_batches", "num_internal_batches", "max_batch_size"};
+
   // -- branch bodies ----------------------------------------------------------
   Stmt internal_body = emit_chain(internal_chain, out_name, H);
   internal_body =
@@ -278,8 +302,8 @@ LoweredModel lower(const ra::Model& model, const ra::Schedule& schedule) {
     top.push_back(
         ilir::make_comment("per-node execution (no dynamic batching)"));
     top.push_back(ilir::make_for(
-        "k", ra::imm(0), ra::var("N"),
-        ilir::make_let("node", ra::load("exec_order", {ra::var("k")}),
+        "ord_idx", ra::imm(0), ra::var("N"),
+        ilir::make_let("node", ra::load("exec_order", {ra::var("ord_idx")}),
                        node_body, "d_node"),
         ilir::ForKind::kSerial, true, false, "d_node"));
   }

@@ -6,6 +6,9 @@ namespace cortex::ra {
 
 namespace {
 
+using support::Diagnostic;
+using support::Severity;
+
 /// Walks all subexpressions of e, calling f on each.
 void walk(const Expr& e, const std::function<void(const Expr&)>& f) {
   if (!e) return;
@@ -15,20 +18,18 @@ void walk(const Expr& e, const std::function<void(const Expr&)>& f) {
 
 /// P.1: control-flow conditions may depend only on the structure
 /// (isleaf / num_children of the node variable), never on tensor data.
-bool cond_is_structural(const Expr& cond, std::string& why) {
-  bool ok = true;
+void check_cond_structural(const Expr& cond, const std::string& op,
+                           std::vector<Diagnostic>& diags) {
   walk(cond, [&](const Expr& e) {
-    if (e->kind == ExprKind::kLoad) {
-      ok = false;
-      why = "condition reads tensor '" + e->name +
-            "': control flow depends on computed data (violates P.1)";
-    }
-    if (e->kind == ExprKind::kWordOf) {
-      ok = false;
-      why = "condition reads leaf word data (violates P.1)";
-    }
+    if (e->kind == ExprKind::kLoad)
+      diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                       "condition reads tensor '" + e->name +
+                           "': control flow depends on computed data "
+                           "(violates P.1)"});
+    if (e->kind == ExprKind::kWordOf)
+      diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                       "condition reads leaf word data (violates P.1)"});
   });
-  return ok;
 }
 
 /// P.2/P.3: placeholder reads must be ph[child(n, k), ...] — results of
@@ -36,42 +37,43 @@ bool cond_is_structural(const Expr& cond, std::string& why) {
 /// node's own (not yet computed) result; reading ph[child(child(n,_),_)]
 /// would skip a recursion level; indexing a child by a data-dependent
 /// expression would violate P.1.
-bool placeholder_reads_ok(const Expr& body, const std::string& ph_name,
-                          std::string& why) {
-  bool ok = true;
+void check_placeholder_reads(const Expr& body, const std::string& ph_name,
+                             const std::string& op,
+                             std::vector<Diagnostic>& diags) {
   walk(body, [&](const Expr& e) {
     if (e->kind != ExprKind::kLoad || e->name != ph_name) return;
     if (e->args.empty()) {
-      ok = false;
-      why = "placeholder read without node index";
+      diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                       "placeholder read without node index"});
       return;
     }
     const Expr& node_idx = e->args[0];
     if (node_idx->kind != ExprKind::kChild) {
-      ok = false;
-      why = "placeholder '" + ph_name + "' read at '" +
-            to_string(node_idx) +
-            "', not at a direct child (violates P.2: recursive-call "
-            "results must come from children)";
+      diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                       "placeholder '" + ph_name + "' read at '" +
+                           to_string(node_idx) +
+                           "', not at a direct child (violates P.2: "
+                           "recursive-call results must come from "
+                           "children)"});
       return;
     }
     if (node_idx->args[0]->kind != ExprKind::kVar) {
-      ok = false;
-      why = "placeholder indexed by nested child access '" +
-            to_string(node_idx) +
-            "' (violates P.3: only direct children may be consumed)";
+      diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                       "placeholder indexed by nested child access '" +
+                           to_string(node_idx) +
+                           "' (violates P.3: only direct children may be "
+                           "consumed)"});
       return;
     }
     // The child ordinal must itself be structural (constant or the
     // reduction axis over num_children).
     walk(node_idx->args[1], [&](const Expr& k) {
-      if (k->kind == ExprKind::kLoad) {
-        ok = false;
-        why = "child ordinal depends on tensor data (violates P.1)";
-      }
+      if (k->kind == ExprKind::kLoad)
+        diags.push_back({Severity::kError, "property", "op(" + op + ")",
+                         "child ordinal depends on tensor data "
+                         "(violates P.1)"});
     });
   });
-  return ok;
 }
 
 }  // namespace
@@ -80,16 +82,17 @@ VerifyResult verify_properties(const Model& model) {
   VerifyResult r;
   const std::string ph = model.recursion->placeholder->name;
   for (const OpRef& op : model.topo_ops()) {
-    if (op->tag == OpTag::kIfThenElse) {
-      std::string why;
-      if (!cond_is_structural(op->cond, why))
-        return {false, "op '" + op->name + "': " + why};
-    }
-    if (op->tag == OpTag::kCompute && op->body) {
-      std::string why;
-      if (!placeholder_reads_ok(op->body, ph, why))
-        return {false, "op '" + op->name + "': " + why};
-    }
+    if (op->tag == OpTag::kIfThenElse)
+      check_cond_structural(op->cond, op->name, r.diagnostics);
+    if (op->tag == OpTag::kCompute && op->body)
+      check_placeholder_reads(op->body, ph, op->name, r.diagnostics);
+  }
+  if (!r.diagnostics.empty()) {
+    r.ok = false;
+    const Diagnostic& first = r.diagnostics.front();
+    r.violation = "op '" +
+                  first.path.substr(3, first.path.size() - 4) + "': " +
+                  first.message;
   }
   return r;
 }
@@ -98,7 +101,7 @@ void verify_or_throw(const Model& model) {
   const VerifyResult r = verify_properties(model);
   CORTEX_CHECK(r.ok) << "model '" << model.name
                      << "' fails recursive-lowering preconditions: "
-                     << r.violation;
+                     << support::format(r.diagnostics);
 }
 
 }  // namespace cortex::ra

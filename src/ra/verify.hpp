@@ -6,25 +6,32 @@
 //   P.3 recursive calls to children are mutually independent.
 // The RA's expression language makes most violations unrepresentable by
 // construction; this pass checks the residual conditions on an op DAG and
-// reports which property a model would violate.
+// reports every property a model would violate, on the same
+// support::Diagnostic surface as the ILIR static verifier.
 
 #include <string>
+#include <vector>
 
 #include "ra/model.hpp"
+#include "support/diagnostic.hpp"
 
 namespace cortex::ra {
 
 /// Result of verifying a model against P.1–P.3.
 struct VerifyResult {
   bool ok = true;
-  std::string violation;  ///< empty when ok
+  std::string violation;  ///< first violation; empty when ok
+  /// Every violation found, one "property" diagnostic per offending op
+  /// expression (not just the first).
+  std::vector<support::Diagnostic> diagnostics;
 };
 
-/// Checks the model. Returns a failure describing the first violated
-/// property; models that pass are lowerable to the ILIR.
+/// Checks the model. Collects ALL violated properties across all ops;
+/// models that pass are lowerable to the ILIR.
 VerifyResult verify_properties(const Model& model);
 
-/// Throwing wrapper used by the compilation entry points.
+/// Throwing wrapper used by the compilation entry points; lists every
+/// violation in the raised error.
 void verify_or_throw(const Model& model);
 
 }  // namespace cortex::ra

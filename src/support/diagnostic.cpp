@@ -1,0 +1,31 @@
+#include "support/diagnostic.hpp"
+
+#include <sstream>
+
+namespace cortex::support {
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::kError) return true;
+  return false;
+}
+
+std::size_t error_count(const std::vector<Diagnostic>& diags) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::string format(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i) os << "\n";
+    os << (d.severity == Severity::kError ? "error" : "warning") << " ["
+       << d.code << "] " << d.path << ": " << d.message;
+  }
+  return os.str();
+}
+
+}  // namespace cortex::support

@@ -1,0 +1,41 @@
+#pragma once
+// One reporting surface for every static checker in the compiler: the RA
+// property verifier (ra/verify.hpp), ILIR bounds/named-dimension checks
+// (ilir/bounds.hpp) and the ILIR well-formedness verifier
+// (ilir/verify.hpp) all emit lists of these instead of throwing on the
+// first violation, so a single compile reports every problem at once —
+// the role IR-level verification plays between graph build and device
+// binaries in production compilers (PopART, TVM's legality analysis).
+
+#include <string>
+#include <vector>
+
+namespace cortex::support {
+
+enum class Severity {
+  kWarning,  ///< suspicious but legal; never fails verification
+  kError,    ///< ill-formed IR; verify_or_throw raises on any of these
+};
+
+/// One finding of a static checker. `code` is the stable diagnostic
+/// class ("def-use", "bounds", "barrier", "scope", ...) tests key on;
+/// `path` locates the statement ("for(b_idx)/for(n_idx)/store(rnn)");
+/// `message` is the human-readable explanation.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string path;
+  std::string message;
+};
+
+/// True when any diagnostic is an error (warnings alone pass).
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Count of error-severity diagnostics.
+std::size_t error_count(const std::vector<Diagnostic>& diags);
+
+/// Multi-line human-readable rendering: one "severity [code] path:
+/// message" line per diagnostic.
+std::string format(const std::vector<Diagnostic>& diags);
+
+}  // namespace cortex::support
