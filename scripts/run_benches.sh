@@ -112,6 +112,15 @@ if [[ "${ran}" -eq 0 ]]; then
   exit 1
 fi
 
+# The memory-planner report is pinned by name: a glob change or a renamed
+# binary must not silently drop the arena-vs-sum footprint numbers the
+# README's "Memory planning" section points at.
+if [[ ! -f "${OUT_DIR}/BENCH_memplan.json" ]]; then
+  echo "error: ${OUT_DIR}/BENCH_memplan.json missing — bench_memplan did" \
+       "not run" >&2
+  exit 1
+fi
+
 echo
 echo "Ran ${ran} bench binaries. Results in ${OUT_DIR}/:"
 ls -1 "${OUT_DIR}"

@@ -1,47 +1,12 @@
 #include "exec/ilir_runner.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "exec/memory_plan.hpp"
+#include "runtime/profiler.hpp"
 
 namespace cortex::exec {
-
-namespace {
-
-/// Constant-evaluates a shape extent against the runtime scalars the
-/// linearizer defines (N, num_leaves, max_batch_size, ...).
-std::int64_t eval_extent(const ra::Expr& e,
-                         const std::map<std::string, std::int64_t>& scalars) {
-  switch (e->kind) {
-    case ra::ExprKind::kIntImm:
-      return e->iimm;
-    case ra::ExprKind::kVar: {
-      auto it = scalars.find(e->name);
-      CORTEX_CHECK(it != scalars.end())
-          << "buffer extent references unknown runtime scalar " << e->name;
-      return it->second;
-    }
-    case ra::ExprKind::kBinary: {
-      const std::int64_t a = eval_extent(e->args[0], scalars);
-      const std::int64_t b = eval_extent(e->args[1], scalars);
-      switch (e->bin) {
-        case ra::BinOp::kAdd: return a + b;
-        case ra::BinOp::kSub: return a - b;
-        case ra::BinOp::kMul: return a * b;
-        case ra::BinOp::kDiv: return a / b;
-        case ra::BinOp::kMax: return std::max(a, b);
-        case ra::BinOp::kMin: return std::min(a, b);
-        default: break;
-      }
-      CORTEX_CHECK(false) << "unsupported extent operator";
-      return 0;
-    }
-    default:
-      CORTEX_CHECK(false) << "unsupported extent expression "
-                          << ra::to_string(e);
-      return 0;
-  }
-}
-
-}  // namespace
 
 const Tensor& IlirRun::at(const std::string& name) const {
   auto it = buffers.find(name);
@@ -51,7 +16,8 @@ const Tensor& IlirRun::at(const std::string& name) const {
 
 IlirRun run_ilir(const ilir::Program& program,
                  const linearizer::Linearized& lin,
-                 const models::ModelParams& params) {
+                 const models::ModelParams& params,
+                 const IlirRunOptions& opts) {
   std::map<std::string, std::int64_t> scalars;
   scalars["N"] = lin.num_nodes;
   scalars["num_leaves"] = lin.num_leaves;
@@ -66,6 +32,32 @@ IlirRun run_ilir(const ilir::Program& program,
   IlirRun run;
   ilir::Evaluator ev(program, lin);
   ev.bind_structure();
+
+  // Storage strategy: one zero-filled arena with planner-assigned slot
+  // offsets, unless CORTEX_MEMPLAN=0 asks for the per-buffer allocator.
+  const MemoryPlan* plan = nullptr;
+  MemoryPlan local_plan;
+  if (memplan_enabled()) {
+    if (opts.plan != nullptr) {
+      plan = opts.plan;
+    } else {
+      local_plan = plan_memory(program);
+      plan = &local_plan;
+    }
+  }
+  ResolvedArena layout;
+  std::shared_ptr<float[]> arena;
+  if (plan != nullptr) {
+    layout = resolve_arena(*plan, scalars);
+    const std::int64_t elems = layout.arena_bytes / 4;
+    // Value-initialized: the single zero-fill every zero_init buffer
+    // relies on. Per-call allocation keeps concurrent runs independent.
+    arena = std::shared_ptr<float[]>(
+        new float[static_cast<std::size_t>(std::max<std::int64_t>(elems, 1))]());
+    run.arena_bytes = layout.arena_bytes;
+    run.sum_buffer_bytes = layout.sum_buffer_bytes;
+    run.buffers_reused = plan->buffers_reused;
+  }
 
   for (const ilir::Buffer& b : program.buffers) {
     // Integer buffers are linearizer arrays (exec_order, batch_begin,
@@ -83,7 +75,22 @@ IlirRun run_ilir(const ilir::Program& program,
     std::vector<std::int64_t> dims;
     dims.reserve(b.shape.size());
     for (const ra::Expr& e : b.shape) dims.push_back(eval_extent(e, scalars));
-    Tensor t = Tensor::zeros(Shape(dims));
+    Shape shape(dims);
+    const BufferPlanEntry* entry =
+        plan != nullptr ? plan->find(b.name) : nullptr;
+    Tensor t;
+    if (entry != nullptr) {
+      const std::int64_t offset =
+          layout.slot_offsets[static_cast<std::size_t>(entry->slot)];
+      t = Tensor::view_into(std::move(shape), arena, offset / 4);
+    } else {
+      // No plan entry: unplanned buffer (never written — an externally
+      // shaped placeholder with no parameter bound) or planner off.
+      t = Tensor::zeros(std::move(shape));
+      const std::int64_t bytes = t.numel() * 4;
+      run.arena_bytes += bytes;  // dedicated storage counts toward the
+      run.sum_buffer_bytes += bytes;  // footprint either way
+    }
     auto [it, inserted] = run.buffers.emplace(b.name, std::move(t));
     CORTEX_CHECK(inserted) << "duplicate buffer " << b.name;
     ev.bind(b.name, ilir::Binding::tensor(it->second));
@@ -91,7 +98,18 @@ IlirRun run_ilir(const ilir::Program& program,
 
   ev.run();
   run.barriers = ev.barriers_executed();
+  if (opts.profiler != nullptr) {
+    opts.profiler->ilir_arena_bytes =
+        std::max(opts.profiler->ilir_arena_bytes, run.arena_bytes);
+    opts.profiler->ilir_buffers_reused += run.buffers_reused;
+  }
   return run;
+}
+
+IlirRun run_ilir(const ilir::Program& program,
+                 const linearizer::Linearized& lin,
+                 const models::ModelParams& params) {
+  return run_ilir(program, lin, params, IlirRunOptions{});
 }
 
 }  // namespace cortex::exec

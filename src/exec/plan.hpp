@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "runtime/device.hpp"
 
 namespace cortex::exec {
+
+struct MemoryPlan;
 
 /// One kernel launch template; per-node quantities are multiplied by the
 /// number of nodes in the batch when the engine instantiates a launch.
@@ -73,6 +76,11 @@ struct Plan {
   /// report: leaf + (num_batches - 1) * internal.
   std::int64_t host_panel_gemms_internal = 0;
   std::int64_t host_panel_gemms_leaf = 0;
+
+  /// Static memory plan for the optimized ILIR program (arena slots with
+  /// buffer reuse, exec/memory_plan.hpp), computed by compile_artifacts
+  /// after the pass pipeline. Null for cell-only models (no ILIR).
+  std::shared_ptr<const MemoryPlan> ilir_memory;
 
   std::string describe() const;
 };

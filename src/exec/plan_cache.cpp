@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/memory_plan.hpp"
 #include "ilir/passes.hpp"
 #include "ilir/verify.hpp"
 #include "runtime/profiler.hpp"
@@ -26,13 +27,21 @@ CompiledArtifacts compile_artifacts(const models::ModelDef& def,
     // and scope legality) runs on the lowered program and after every
     // pass, so the first pass to emit ill-formed IR is the one blamed.
     ilir::PassObserver observe;
+    MemoryPlanOptions mp_opts;
+    mp_opts.live_out = {lm.output};
     if (ilir::verify_enabled()) {
       ilir::verify_or_throw(lm.program, "lower");
-      observe = [](const std::string& pass, const ilir::Program& after) {
+      observe = [mp_opts](const std::string& pass,
+                          const ilir::Program& after) {
         ilir::VerifyOptions opt;
         // Barrier-presence legality only holds once barriers exist.
         opt.require_barriers = pass == "insert_barriers";
         ilir::verify_or_throw(after, pass, opt);
+        // Re-plan and re-prove the memory plan after every pass: a pass
+        // that moves or widens buffer lifetimes must still yield an
+        // overlap-free, in-bounds arena assignment.
+        verify_memory_plan_or_throw(after, plan_memory(after, mp_opts),
+                                    pass, mp_opts);
       };
     }
     ilir::PipelineConfig cfg;
@@ -43,6 +52,13 @@ CompiledArtifacts compile_artifacts(const models::ModelDef& def,
     cfg.improved_barriers = schedule.improved_barrier_placement;
     cfg.live_out = {lm.output};
     a.optimized = ilir::apply_schedule_passes(lm.program, cfg, observe);
+    // The memory plan of the final optimized program rides in the plan:
+    // run_ilir binds buffers at its offsets, and a JIT backend would bake
+    // them into generated code.
+    auto mem = std::make_shared<MemoryPlan>(plan_memory(*a.optimized, mp_opts));
+    if (ilir::verify_enabled())
+      verify_memory_plan_or_throw(*a.optimized, *mem, "final", mp_opts);
+    a.plan.ilir_memory = std::move(mem);
     a.lowered = std::move(lm);
   } else {
     // Cell-only models (the sequential Fig. 9 cells) still respect the

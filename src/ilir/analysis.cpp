@@ -1,0 +1,284 @@
+#include "ilir/analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cortex::ilir {
+
+using ra::Expr;
+using ra::ExprKind;
+
+bool index_is_indirect(const Expr& e) {
+  if (!e) return false;
+  switch (e->kind) {
+    case ExprKind::kChild:
+    case ExprKind::kWordOf:
+    case ExprKind::kNumChildren:
+    case ExprKind::kIsLeaf:
+    case ExprKind::kLoad:
+      return true;
+    default:
+      break;
+  }
+  for (const Expr& a : e->args)
+    if (index_is_indirect(a)) return true;
+  return false;
+}
+
+namespace {
+
+/// Records every load in `e` into `eff` (loads nested inside indices of
+/// other loads count as reads of their own buffers too).
+void effect_reads(const Expr& e, Effects& eff) {
+  if (!e) return;
+  if (e->kind == ExprKind::kLoad) {
+    eff.reads.insert(e->name);
+    for (const Expr& ix : e->args)
+      if (index_is_indirect(ix)) {
+        eff.indirect_reads.insert(e->name);
+        break;
+      }
+  }
+  for (const Expr& a : e->args) effect_reads(a, eff);
+}
+
+void effect_stmt(const Stmt& s, Effects& eff) {
+  if (!s) return;
+  switch (s->kind) {
+    case StmtKind::kFor:
+      effect_reads(s->min, eff);
+      effect_reads(s->extent, eff);
+      effect_stmt(s->body, eff);
+      break;
+    case StmtKind::kLet:
+      effect_reads(s->value, eff);
+      effect_stmt(s->body, eff);
+      break;
+    case StmtKind::kStore:
+      eff.writes.insert(s->buffer);
+      for (const Expr& ix : s->indices) effect_reads(ix, eff);
+      effect_reads(s->value, eff);
+      break;
+    case StmtKind::kSeq:
+      for (const Stmt& t : s->stmts) effect_stmt(t, eff);
+      break;
+    case StmtKind::kIf:
+      effect_reads(s->cond, eff);
+      effect_stmt(s->then_s, eff);
+      effect_stmt(s->else_s, eff);
+      break;
+    case StmtKind::kBarrier:
+      eff.has_barrier = true;
+      break;
+    case StmtKind::kComment:
+      break;
+  }
+}
+
+/// The liveness walk. Statement positions are assigned pre-order; loop
+/// spans are [header position, last body position]. Cross-iteration
+/// carries widen a buffer's range to the span of every loop they occur
+/// in (the trigger is monotone under nesting, so an inner carry widens
+/// over the outer loops too).
+class LivenessWalker {
+ public:
+  explicit LivenessWalker(LivenessInfo& out) : info_(out) {}
+
+  void run(const Stmt& body) {
+    stmt(body);
+    info_.num_positions = pos_;
+  }
+
+ private:
+  /// Per-enclosing-loop access summary for one buffer, used to decide
+  /// whether the buffer's value carries across that loop's iterations.
+  struct LoopStats {
+    std::int64_t earliest_read = -1;
+    std::int64_t latest_write = -1;
+    bool indirect_read = false;
+    bool written = false;
+  };
+  struct LoopFrame {
+    std::int64_t begin_pos = 0;
+    std::map<std::string, LoopStats> stats;
+  };
+
+  LiveRange& range_of(const std::string& buf) {
+    auto [it, inserted] = info_.ranges.emplace(buf, LiveRange{});
+    LiveRange& r = it->second;
+    if (inserted || !r.accessed()) {
+      r.begin = pos_;
+      std::string home;
+      for (const std::string& v : dep_names_) {
+        if (!home.empty()) home += "/";
+        home += v;
+      }
+      r.home_nest = home;
+    }
+    return r;
+  }
+
+  void record_read(const std::string& buf, bool indirect) {
+    LiveRange& r = range_of(buf);
+    if (r.first_read < 0) r.first_read = pos_;
+    r.end = std::max(r.end, pos_);
+    r.has_indirect_read = r.has_indirect_read || indirect;
+    // A read is covered only by a write whose branch context is a prefix
+    // of the read's: a write in a conditional branch may not run at all.
+    // Loops are NOT context: a textually earlier loop-nested write is
+    // taken to cover later reads (the producer/consumer shape every
+    // lowered program has); the differential battery validates the
+    // element-coverage assumption behind that.
+    bool covered = false;
+    for (const std::vector<const void*>& wctx : write_contexts_[buf]) {
+      if (wctx.size() > context_.size()) continue;
+      if (std::equal(wctx.begin(), wctx.end(), context_.begin())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) r.read_before_write = true;
+    for (LoopFrame& f : loops_) {
+      LoopStats& st = f.stats[buf];
+      if (st.earliest_read < 0) st.earliest_read = pos_;
+      st.indirect_read = st.indirect_read || indirect;
+    }
+  }
+
+  void record_write(const std::string& buf) {
+    LiveRange& r = range_of(buf);
+    if (r.first_write < 0) r.first_write = pos_;
+    r.end = std::max(r.end, pos_);
+    write_contexts_[buf].push_back(context_);
+    for (LoopFrame& f : loops_) {
+      LoopStats& st = f.stats[buf];
+      st.latest_write = pos_;
+      st.written = true;
+    }
+  }
+
+  void reads_in(const Expr& e) {
+    if (!e) return;
+    if (e->kind == ExprKind::kLoad) {
+      bool indirect = false;
+      for (const Expr& ix : e->args)
+        if (index_is_indirect(ix)) {
+          indirect = true;
+          break;
+        }
+      record_read(e->name, indirect);
+    }
+    for (const Expr& a : e->args) reads_in(a);
+  }
+
+  void stmt(const Stmt& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case StmtKind::kFor: {
+        const std::int64_t header = pos_;
+        reads_in(s->min);
+        reads_in(s->extent);
+        ++pos_;
+        loops_.push_back(LoopFrame{header, {}});
+        if (s->carries_dependence) dep_names_.push_back(s->var);
+        stmt(s->body);
+        if (s->carries_dependence) dep_names_.pop_back();
+        const std::int64_t last = std::max(header, pos_ - 1);
+        LoopFrame frame = std::move(loops_.back());
+        loops_.pop_back();
+        for (auto& [buf, st] : frame.stats) {
+          const bool carries =
+              (st.indirect_read && st.written) ||
+              (st.earliest_read >= 0 && st.latest_write >= 0 &&
+               st.earliest_read <= st.latest_write);
+          if (carries) {
+            LiveRange& r = info_.ranges[buf];
+            r.cross_iteration = true;
+            r.begin = std::min(r.begin, header);
+            r.end = std::max(r.end, last);
+          }
+          if (!loops_.empty()) {
+            LoopStats& up = loops_.back().stats[buf];
+            if (up.earliest_read < 0)
+              up.earliest_read = st.earliest_read;
+            else if (st.earliest_read >= 0)
+              up.earliest_read = std::min(up.earliest_read, st.earliest_read);
+            up.latest_write = std::max(up.latest_write, st.latest_write);
+            up.indirect_read = up.indirect_read || st.indirect_read;
+            up.written = up.written || st.written;
+          }
+        }
+        break;
+      }
+      case StmtKind::kLet:
+        reads_in(s->value);
+        ++pos_;
+        // A let body runs exactly once: no context marker, writes inside
+        // it dominate everything after.
+        stmt(s->body);
+        break;
+      case StmtKind::kStore:
+        // The reads in indices and value share the store's position: they
+        // happen strictly before the write lands, within one statement.
+        for (const Expr& ix : s->indices) reads_in(ix);
+        reads_in(s->value);
+        record_write(s->buffer);
+        ++pos_;
+        break;
+      case StmtKind::kSeq:
+        for (const Stmt& t : s->stmts) stmt(t);
+        break;
+      case StmtKind::kIf: {
+        reads_in(s->cond);
+        ++pos_;
+        context_.push_back(s.get());
+        context_.push_back(&kThenTag);
+        stmt(s->then_s);
+        context_.back() = &kElseTag;
+        stmt(s->else_s);
+        context_.pop_back();
+        context_.pop_back();
+        break;
+      }
+      case StmtKind::kBarrier:
+        ++pos_;  // barriers occupy positions: ranges are barrier-aware
+        break;
+      case StmtKind::kComment:
+        break;
+    }
+  }
+
+  static const char kThenTag;
+  static const char kElseTag;
+
+  LivenessInfo& info_;
+  std::int64_t pos_ = 0;
+  std::vector<LoopFrame> loops_;
+  /// If-branch markers identifying the current conditional context; a
+  /// write's context must be a prefix of a read's to cover it. Loops are
+  /// deliberately absent (see record_read).
+  std::vector<const void*> context_;
+  /// Enclosing carries_dependence loop variables (home-nest identity).
+  std::vector<std::string> dep_names_;
+  std::map<std::string, std::vector<std::vector<const void*>>>
+      write_contexts_;
+};
+
+const char LivenessWalker::kThenTag = 0;
+const char LivenessWalker::kElseTag = 0;
+
+}  // namespace
+
+Effects effects_of(const Stmt& s) {
+  Effects eff;
+  effect_stmt(s, eff);
+  return eff;
+}
+
+LivenessInfo analyze_liveness(const Program& program) {
+  LivenessInfo info;
+  LivenessWalker(info).run(program.body);
+  return info;
+}
+
+}  // namespace cortex::ilir

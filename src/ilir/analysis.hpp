@@ -1,0 +1,110 @@
+#pragma once
+// ILIR static analysis: the effect and liveness engine shared by the
+// verifier (ilir/verify.hpp) and the memory planner
+// (exec/memory_plan.hpp). Three layers:
+//
+//   effects    conservative per-statement read/write summaries — which
+//              buffers a statement tree loads, which it stores, which of
+//              its loads go through an indirect index (an uninterpreted
+//              structure function or a linearizer-array load, §A.4), and
+//              whether it synchronizes. The verifier's dependence-loop
+//              legality check and the planner both key off this walk, so
+//              a single notion of "reads/writes" backs both.
+//
+//   liveness   per-buffer def/use live ranges in statement order: every
+//              statement gets a pre-order position, and a buffer is live
+//              from its first access to its last. Loop-aware: a buffer
+//              whose value carries across iterations of a loop (an
+//              indirect read of data written in the same loop, or a read
+//              at an earlier body position than a write) has its range
+//              widened to the whole loop span, so a value produced in
+//              one dependence iteration and consumed in the next is
+//              never considered dead mid-loop. Barriers occupy positions
+//              of their own, so ranges are barrier-aware by position.
+//
+//   zero-init  a read that no earlier write dominates observes the
+//              runtime's zero-fill; such buffers are flagged
+//              read_before_write so the planner keeps their bytes
+//              untouched until that first read. Domination is branch-
+//              granular: a write inside a conditional branch covers only
+//              reads in that branch, while a textually earlier loop-
+//              nested write covers later reads (the producer/consumer
+//              shape of every lowered program; run_ilir's differential
+//              battery validates the element-coverage assumption).
+//
+// Liveness here is interpreter-order liveness: positions follow the
+// sequential statement order the ILIR evaluator executes (kParallel
+// loops run their iterations in order). That is exactly the semantics
+// run_ilir provides; device-level parallel legality remains the
+// verifier's barrier/scope checks.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ilir/ilir.hpp"
+
+namespace cortex::ilir {
+
+/// True when the expression reads other nodes' data indirectly: through
+/// an uninterpreted structure function (child/word/isleaf/num_children)
+/// or through a load of a linearizer array. Such an index can name any
+/// iteration of the surrounding node loop, so a read through it may
+/// observe values produced by earlier iterations (§A.4).
+bool index_is_indirect(const ra::Expr& e);
+
+/// Conservative alias/effect summary of a statement tree.
+struct Effects {
+  /// Buffers loaded anywhere in the tree (including loop bounds, let
+  /// values, conditions and store indices/values).
+  std::set<std::string> reads;
+  /// Buffers stored anywhere in the tree.
+  std::set<std::string> writes;
+  /// Subset of `reads` where some load uses an indirect index in any
+  /// dimension — the reads that can cross node-loop iterations.
+  std::set<std::string> indirect_reads;
+  bool has_barrier = false;
+};
+
+/// Single-walk effect summary of `s` (nullptr yields the empty summary).
+Effects effects_of(const Stmt& s);
+
+/// Live range of one buffer over the program's pre-order statement
+/// positions. Positions are inclusive on both ends.
+struct LiveRange {
+  std::int64_t begin = -1;  ///< first position whose bytes matter
+  std::int64_t end = -1;    ///< last position whose bytes matter
+  std::int64_t first_write = -1;
+  std::int64_t first_read = -1;
+  /// Some read is not dominated by an earlier write (every write sits in
+  /// a conditional branch the read is outside of, or there is none): the
+  /// buffer observes the runtime's zero-fill and its bytes must be
+  /// virgin until that read.
+  bool read_before_write = false;
+  /// The range was widened to a whole loop span because the value
+  /// carries across iterations (indirect read of same-loop writes, or a
+  /// body-order read-before-write of same-loop data).
+  bool cross_iteration = false;
+  bool has_indirect_read = false;
+  /// Dependence-carrying loop nest of the first access (loop vars joined
+  /// with '/'; empty at top level). On-chip buffers have one-iteration
+  /// lifetimes inside their nest, so the planner only lets them share
+  /// bytes with buffers of the same nest.
+  std::string home_nest;
+
+  bool accessed() const { return begin >= 0; }
+};
+
+struct LivenessInfo {
+  std::map<std::string, LiveRange> ranges;
+  /// One past the last statement position assigned by the walk; callers
+  /// use it as the "live to end of program" sentinel for outputs.
+  std::int64_t num_positions = 0;
+};
+
+/// Computes def/use liveness for every buffer accessed by the program
+/// body. Buffers never accessed do not appear in `ranges`.
+LivenessInfo analyze_liveness(const Program& program);
+
+}  // namespace cortex::ilir

@@ -2,10 +2,10 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <map>
 #include <set>
 
+#include "ilir/analysis.hpp"
 #include "ilir/bounds.hpp"
 #include "ilir/simplify.hpp"
 
@@ -17,28 +17,6 @@ using ra::Expr;
 using ra::ExprKind;
 using support::Diagnostic;
 using support::Severity;
-
-/// True when the expression reads other nodes' data indirectly: through
-/// an uninterpreted structure function (child/word/isleaf/num_children)
-/// or through a load of a linearizer array. Such an index can name any
-/// iteration of the surrounding node loop, so a read through it may
-/// observe values produced by earlier iterations (§A.4).
-bool index_is_indirect(const Expr& e) {
-  if (!e) return false;
-  switch (e->kind) {
-    case ExprKind::kChild:
-    case ExprKind::kWordOf:
-    case ExprKind::kNumChildren:
-    case ExprKind::kIsLeaf:
-    case ExprKind::kLoad:
-      return true;
-    default:
-      break;
-  }
-  for (const Expr& a : e->args)
-    if (index_is_indirect(a)) return true;
-  return false;
-}
 
 /// The whole verifier state for one Program walk. One instance per
 /// verify() call; all checks run in a single traversal so path strings
@@ -323,37 +301,25 @@ class Checker {
 
   /// §A.4: a carries_dependence loop whose iterations produce values that
   /// later iterations read indirectly, and whose body runs in parallel,
-  /// must synchronize each iteration with a device-wide barrier.
+  /// must synchronize each iteration with a device-wide barrier. The
+  /// read/write sets come from the shared effect engine (ilir/analysis),
+  /// the same walk the memory planner's liveness is built on.
   void check_dependence_loop(const StmtNode& loop) {
     bool has_parallel = false;
-    bool has_barrier = false;
     visit(loop.body, [&](const Stmt& t) {
       if (t->kind == StmtKind::kFor && t->fkind == ForKind::kParallel)
         has_parallel = true;
-      if (t->kind == StmtKind::kBarrier) has_barrier = true;
     });
-    if (!has_parallel || has_barrier) return;
-
-    std::set<std::string> stored;
-    visit(loop.body, [&](const Stmt& t) {
-      if (t->kind == StmtKind::kStore) stored.insert(t->buffer);
-    });
-    std::set<std::string> cross;
-    visit_exprs(loop.body, [&](const Expr& e) {
-      std::function<void(const Expr&)> walk = [&](const Expr& x) {
-        if (x->kind == ExprKind::kLoad && stored.count(x->name) > 0 &&
-            !x->args.empty() && index_is_indirect(x->args[0]))
-          cross.insert(x->name);
-        for (const Expr& a : x->args) walk(a);
-      };
-      walk(e);
-    });
-    for (const std::string& buf : cross)
-      error("barrier", "loop '" + loop.var +
-                           "' carries a dependence on buffer '" + buf +
-                           "' (written per iteration, read indirectly by "
-                           "later ones) and runs parallel work, but its "
-                           "body contains no kBarrier");
+    if (!has_parallel) return;
+    const Effects eff = effects_of(loop.body);
+    if (eff.has_barrier) return;
+    for (const std::string& buf : eff.indirect_reads)
+      if (eff.writes.count(buf) > 0)
+        error("barrier", "loop '" + loop.var +
+                             "' carries a dependence on buffer '" + buf +
+                             "' (written per iteration, read indirectly by "
+                             "later ones) and runs parallel work, but its "
+                             "body contains no kBarrier");
   }
 
   // -- statement walk --------------------------------------------------------
@@ -480,7 +446,7 @@ void verify_or_throw(const Program& program, const std::string& phase,
   CORTEX_CHECK(false) << "ILIR verification failed after '" << phase
                       << "' for program '" << program.name << "' ("
                       << support::error_count(diags) << " error(s)):\n"
-                      << support::format(diags);
+                      << support::format(support::sorted_by_severity(diags));
 }
 
 bool verify_enabled() {

@@ -38,6 +38,10 @@ void Profiler::accumulate(const Profiler& o) {
   // pool_workers is likewise a configuration (max keeps it stable when
   // averaging pooled runs, and a merge of unpooled shards leaves it 0).
   pool_workers = std::max(pool_workers, o.pool_workers);
+  // Peak footprint is a high-water mark across merged runs; reuse counts
+  // accumulate like the other work counters.
+  ilir_arena_bytes = std::max(ilir_arena_bytes, o.ilir_arena_bytes);
+  ilir_buffers_reused += o.ilir_buffers_reused;
 }
 
 void Profiler::scale(double f) {
@@ -60,6 +64,8 @@ void Profiler::scale(double f) {
   batched_gemm_calls = static_cast<std::int64_t>(batched_gemm_calls * f);
   batched_panels = static_cast<std::int64_t>(batched_panels * f);
   // max_panel_rows is a high-water mark; averaging leaves it unchanged.
+  ilir_buffers_reused = static_cast<std::int64_t>(ilir_buffers_reused * f);
+  // ilir_arena_bytes is a peak like max_panel_rows; leave it unscaled.
 }
 
 std::string Profiler::str() const {
@@ -76,6 +82,9 @@ std::string Profiler::str() const {
     os << " panel_gemms=" << batched_gemm_calls
        << " max_panel_rows=" << max_panel_rows;
   if (pool_workers > 0) os << " pool_workers=" << pool_workers;
+  if (ilir_arena_bytes > 0)
+    os << " ilir_arena=" << ilir_arena_bytes
+       << "B reused=" << ilir_buffers_reused;
   os << " total=" << total_latency_ms() << "ms";
   return os.str();
 }

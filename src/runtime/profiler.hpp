@@ -62,6 +62,16 @@ struct Profiler {
   /// aggregate work of the whole mini-batch.
   std::int64_t pool_workers = 0;
 
+  // -- ILIR arena (static memory planner) ------------------------------------
+  /// Peak arena bytes one run_ilir allocation covered all program buffers
+  /// with (Fig. 12's peak-memory axis). 0 when no ILIR run was profiled
+  /// or the planner is off (CORTEX_MEMPLAN=0 falls back to per-buffer
+  /// allocation, where this instead records the summed buffer bytes).
+  std::int64_t ilir_arena_bytes = 0;
+  /// Buffers the plan placed into an already-occupied slot (bytes shared
+  /// with a dead buffer instead of newly allocated).
+  std::int64_t ilir_buffers_reused = 0;
+
   void reset() { *this = Profiler{}; }
 
   /// End-to-end modeled inference latency: host framework work + host API

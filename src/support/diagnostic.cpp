@@ -1,5 +1,6 @@
 #include "support/diagnostic.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cortex::support {
@@ -26,6 +27,15 @@ std::string format(const std::vector<Diagnostic>& diags) {
        << d.code << "] " << d.path << ": " << d.message;
   }
   return os.str();
+}
+
+std::vector<Diagnostic> sorted_by_severity(std::vector<Diagnostic> diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.severity == Severity::kError &&
+                            b.severity != Severity::kError;
+                   });
+  return diags;
 }
 
 }  // namespace cortex::support

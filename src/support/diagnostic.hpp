@@ -38,4 +38,8 @@ std::size_t error_count(const std::vector<Diagnostic>& diags);
 /// message" line per diagnostic.
 std::string format(const std::vector<Diagnostic>& diags);
 
+/// Copy with errors ordered before warnings; the sort is stable, so the
+/// checker's emission order is preserved within each severity class.
+std::vector<Diagnostic> sorted_by_severity(std::vector<Diagnostic> diags);
+
 }  // namespace cortex::support

@@ -50,6 +50,18 @@ Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
   return t;
 }
 
+Tensor Tensor::view_into(Shape shape, const std::shared_ptr<float[]>& storage,
+                         std::int64_t offset_elems) {
+  CORTEX_CHECK(storage != nullptr) << "view_into on null storage";
+  CORTEX_CHECK(offset_elems >= 0) << "view_into at negative offset";
+  Tensor t;
+  t.shape_ = std::move(shape);
+  // Aliasing constructor: shares the storage's control block, points at
+  // the slot. Destroying the arena last is therefore automatic.
+  t.data_ = std::shared_ptr<float[]>(storage, storage.get() + offset_elems);
+  return t;
+}
+
 float& Tensor::at(std::int64_t i) {
   CORTEX_CHECK(shape_.rank() == 1 && i >= 0 && i < shape_.dim(0))
       << "at(" << i << ") on shape " << shape_.str();

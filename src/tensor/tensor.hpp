@@ -73,6 +73,12 @@ class Tensor {
                         float hi = 0.1f);
   /// Wraps an existing vector (copies it).
   static Tensor from_vector(Shape shape, const std::vector<float>& values);
+  /// Aliasing view into `storage` at `offset_elems` floats from its base
+  /// (no copy, no fill). The view keeps the whole storage alive — this is
+  /// how arena-planned buffers bind to their slot offsets. The caller
+  /// guarantees the range [offset, offset + shape.numel()) is in bounds.
+  static Tensor view_into(Shape shape, const std::shared_ptr<float[]>& storage,
+                          std::int64_t offset_elems);
 
   const Shape& shape() const { return shape_; }
   std::int64_t numel() const { return shape_.numel(); }

@@ -1,0 +1,141 @@
+// support::Diagnostic reporting surface: format() rendering, severity
+// ordering via sorted_by_severity(), multi-diagnostic joins, and the
+// statement-path strings (for(x)/store(b), seq[i]) the ILIR verifier
+// attaches to findings in real programs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ilir/ilir.hpp"
+#include "ilir/verify.hpp"
+#include "support/diagnostic.hpp"
+
+namespace cortex::support {
+namespace {
+
+using ra::imm;
+using ra::var;
+
+Diagnostic make(Severity sev, const std::string& code,
+                const std::string& path, const std::string& msg) {
+  return {sev, code, path, msg};
+}
+
+// -- format() rendering --------------------------------------------------------
+
+TEST(Diagnostic, FormatRendersSeverityCodePathMessage) {
+  const std::vector<Diagnostic> diags{
+      make(Severity::kError, "bounds", "for(i)/store(out)", "index escapes")};
+  EXPECT_EQ(format(diags), "error [bounds] for(i)/store(out): index escapes");
+}
+
+TEST(Diagnostic, FormatJoinsMultipleFindingsWithNewlines) {
+  const std::vector<Diagnostic> diags{
+      make(Severity::kWarning, "style", "<top>", "first"),
+      make(Severity::kError, "def-use", "seq[2]", "second"),
+      make(Severity::kError, "scope", "for(b)/if", "third")};
+  EXPECT_EQ(format(diags),
+            "warning [style] <top>: first\n"
+            "error [def-use] seq[2]: second\n"
+            "error [scope] for(b)/if: third");
+}
+
+TEST(Diagnostic, FormatOfEmptyListIsEmpty) {
+  EXPECT_EQ(format({}), "");
+}
+
+// -- counting ------------------------------------------------------------------
+
+TEST(Diagnostic, WarningsAloneAreNotErrors) {
+  const std::vector<Diagnostic> diags{
+      make(Severity::kWarning, "style", "<top>", "w1"),
+      make(Severity::kWarning, "style", "<top>", "w2")};
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_EQ(error_count(diags), 0u);
+}
+
+TEST(Diagnostic, ErrorCountIgnoresWarnings) {
+  const std::vector<Diagnostic> diags{
+      make(Severity::kWarning, "style", "<top>", "w"),
+      make(Severity::kError, "bounds", "a", "e1"),
+      make(Severity::kError, "bounds", "b", "e2")};
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_EQ(error_count(diags), 2u);
+}
+
+// -- severity ordering ---------------------------------------------------------
+
+TEST(Diagnostic, SortedBySeverityPutsErrorsFirst) {
+  const std::vector<Diagnostic> sorted = sorted_by_severity(
+      {make(Severity::kWarning, "style", "w1", "warn one"),
+       make(Severity::kError, "bounds", "e1", "err one"),
+       make(Severity::kWarning, "style", "w2", "warn two"),
+       make(Severity::kError, "scope", "e2", "err two")});
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].path, "e1");
+  EXPECT_EQ(sorted[1].path, "e2");
+  EXPECT_EQ(sorted[2].path, "w1");
+  EXPECT_EQ(sorted[3].path, "w2");
+}
+
+TEST(Diagnostic, SortIsStableWithinEachSeverity) {
+  std::vector<Diagnostic> diags;
+  for (int i = 0; i < 8; ++i)
+    diags.push_back(make(i % 2 ? Severity::kError : Severity::kWarning,
+                         "c", std::to_string(i), "m"));
+  const std::vector<Diagnostic> sorted = sorted_by_severity(diags);
+  // Errors 1,3,5,7 then warnings 0,2,4,6 — emission order preserved.
+  const char* expect[] = {"1", "3", "5", "7", "0", "2", "4", "6"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sorted[i].path, expect[i]);
+}
+
+// -- verifier path strings on real programs ------------------------------------
+
+/// One-buffer program whose store sits under for(i)/seq[1]: path strings
+/// must spell out the enclosing statement chain.
+ilir::Program bad_store_program() {
+  ilir::Program p;
+  p.name = "diag_path";
+  p.dim_extents.emplace_back("d", imm(4));
+  ilir::Buffer out;
+  out.name = "out";
+  out.shape = {imm(4)};
+  out.dims = {"d"};
+  p.buffers.push_back(out);
+  // out[i + 4] escapes the extent-4 buffer: a bounds error at the store.
+  p.body = ilir::make_for(
+      "i", imm(0), imm(4),
+      ilir::make_seq({ilir::make_comment("filler"),
+                      ilir::make_store("out", {ra::add(var("i"), imm(4))},
+                                       ra::fimm(0.0f))}),
+      ilir::ForKind::kSerial, false, false, "d");
+  return p;
+}
+
+TEST(DiagnosticPath, VerifierSpellsForSeqStoreChain) {
+  const std::vector<Diagnostic> diags = ilir::verify(bad_store_program());
+  ASSERT_TRUE(has_errors(diags));
+  bool found = false;
+  for (const Diagnostic& d : diags)
+    if (d.path == "for(i)/seq[1]/store(out)") found = true;
+  EXPECT_TRUE(found) << format(diags);
+}
+
+TEST(DiagnosticPath, TopLevelFindingsUseTopSentinel) {
+  // An undefined extent symbol at the outermost loop reports at a path
+  // that names the loop itself (the statement being checked).
+  ilir::Program p = bad_store_program();
+  p.body = ilir::make_for("i", imm(0), var("mystery"), ilir::make_comment("x"),
+                          ilir::ForKind::kSerial, false, false, "d");
+  const std::vector<Diagnostic> diags = ilir::verify(p);
+  ASSERT_TRUE(has_errors(diags));
+  bool found = false;
+  for (const Diagnostic& d : diags)
+    if (d.path.find("for(i)") != std::string::npos) found = true;
+  EXPECT_TRUE(found) << format(diags);
+}
+
+}  // namespace
+}  // namespace cortex::support
