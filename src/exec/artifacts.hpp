@@ -14,12 +14,18 @@
 
 namespace cortex::exec {
 
+class JitKernel;
+
 /// Everything CortexEngine construction compiles, immutable once cached.
 /// `lowered`/`optimized` are empty for cell-only models (no RA def).
 struct CompiledArtifacts {
   Plan plan;
   std::optional<lowering::LoweredModel> lowered;
   std::optional<ilir::Program> optimized;
+  /// Compiled ILIR kernel (exec/jit.hpp), built eagerly under CORTEX_JIT
+  /// for RA models; null otherwise. Rides the plan cache so the LRU +
+  /// single-flight discipline covers dlopen'd kernels too.
+  std::shared_ptr<const JitKernel> jit;
   /// Wall-clock cost of the cold compile that produced this entry (what a
   /// hit saves; feeds PlanCacheStats::compile_ns_saved).
   double compile_ns = 0.0;

@@ -1,9 +1,13 @@
 #include "exec/ilir_runner.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <vector>
 
+#include "exec/jit.hpp"
 #include "exec/memory_plan.hpp"
+#include "ilir/codegen_c.hpp"
 #include "runtime/profiler.hpp"
 
 namespace cortex::exec {
@@ -96,8 +100,70 @@ IlirRun run_ilir(const ilir::Program& program,
     ev.bind(b.name, ilir::Binding::tensor(it->second));
   }
 
-  ev.run();
-  run.barriers = ev.barriers_executed();
+  // Execution: the JIT'd kernel when one is supplied and CORTEX_JIT is
+  // on, over exactly the storage bound above; the interpreter otherwise.
+  // A plan-built kernel bakes arena slot indices, so it is only usable
+  // when this run resolved that arena (memplan on).
+  bool ran_jit = false;
+  if (opts.jit != nullptr && jit_enabled() &&
+      (!opts.jit->has_arena() || plan != nullptr)) {
+    const JitKernel& kernel = *opts.jit;
+    std::vector<float*> param_table;
+    param_table.reserve(kernel.params_order().size());
+    for (const std::string& name : kernel.params_order()) {
+      auto pit = params.tensors.find(name);
+      if (pit != params.tensors.end()) {
+        // Const in spirit, like the evaluator binding above: a lowered
+        // model never stores to its input buffers.
+        param_table.push_back(const_cast<Tensor&>(pit->second).data());
+      } else {
+        auto bit = run.buffers.find(name);
+        CORTEX_CHECK(bit != run.buffers.end())
+            << "JIT kernel param '" << name << "' has no storage";
+        param_table.push_back(bit->second.data());
+      }
+    }
+    const std::int32_t* lin_table[ilir::kNumStructureArrays] = {
+        lin.left.data(),          lin.right.data(),
+        lin.word.data(),          lin.batch_begin.data(),
+        lin.batch_length.data(),  lin.child_offsets.data(),
+        lin.child_ids.data(),     lin.exec_order.data()};
+    std::int64_t scalar_table[ilir::kNumScalars];
+    for (std::size_t i = 0; i < ilir::kNumScalars; ++i)
+      scalar_table[i] = scalars.at(ilir::kScalarNames[i]);
+    std::int64_t counters[1] = {0};
+    kernel.fn()(arena.get(), layout.slot_offsets.data(), param_table.data(),
+                lin_table, scalar_table, counters);
+    run.barriers = counters[0];
+    ran_jit = true;
+    if (opts.profiler != nullptr) ++opts.profiler->jit_runs;
+  }
+  if (!ran_jit) {
+    ev.run();
+    run.barriers = ev.barriers_executed();
+  }
+
+  if (ran_jit && jit_check_enabled()) {
+    // Differential oracle: re-run interpreted on fresh storage and demand
+    // bitwise equality of every buffer plus the barrier count.
+    IlirRunOptions oracle_opts = opts;
+    oracle_opts.jit = nullptr;
+    oracle_opts.profiler = nullptr;
+    const IlirRun oracle = run_ilir(program, lin, params, oracle_opts);
+    CORTEX_CHECK(oracle.barriers == run.barriers)
+        << "JIT/interpreter barrier divergence: " << run.barriers << " vs "
+        << oracle.barriers;
+    for (auto& [name, tensor] : run.buffers) {
+      const Tensor& ref = oracle.at(name);
+      CORTEX_CHECK(tensor.numel() == ref.numel())
+          << "JIT/interpreter shape divergence in " << name;
+      CORTEX_CHECK(std::memcmp(tensor.data(), ref.data(),
+                               static_cast<std::size_t>(tensor.numel()) *
+                                   sizeof(float)) == 0)
+          << "JIT/interpreter bitwise divergence in buffer " << name;
+    }
+  }
+
   if (opts.profiler != nullptr) {
     opts.profiler->ilir_arena_bytes =
         std::max(opts.profiler->ilir_arena_bytes, run.arena_bytes);

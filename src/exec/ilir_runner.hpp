@@ -31,6 +31,7 @@ struct Profiler;
 namespace cortex::exec {
 
 struct MemoryPlan;
+class JitKernel;
 
 struct IlirRun {
   /// Every non-parameter buffer allocated for the run, keyed by name;
@@ -59,6 +60,15 @@ struct IlirRunOptions {
   const MemoryPlan* plan = nullptr;
   /// When set, the run adds arena/reuse counters to this profiler.
   runtime::Profiler* profiler = nullptr;
+  /// Compiled kernel for this program (CompiledArtifacts::jit). Used only
+  /// when CORTEX_JIT is on; the run dispatches to the kernel instead of
+  /// the interpreter over the same buffer storage. A kernel built against
+  /// a memory plan needs that plan here (the usual pairing from
+  /// compile_artifacts); under CORTEX_MEMPLAN=0 such a kernel is ignored
+  /// and the run falls back to interpretation. CORTEX_JIT_CHECK=1 runs
+  /// BOTH paths and requires bit-identical buffers and barrier counts
+  /// (the interpreter as differential oracle).
+  const JitKernel* jit = nullptr;
 };
 
 /// Interprets `program` against `lin`, binding parameter buffers from

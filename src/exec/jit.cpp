@@ -1,0 +1,249 @@
+#include "exec/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ilir/codegen_c.hpp"
+#include "ilir/verify.hpp"
+#include "runtime/profiler.hpp"
+#include "support/logging.hpp"
+
+namespace cortex::exec {
+
+namespace {
+
+bool env_on(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// Flags every kernel is built with. -ffp-contract=off matches the
+/// tree-wide flag the bit-identity contract depends on (a fused
+/// multiply-add would change the interpreter/JIT comparison); -Werror on
+/// generated code keeps the emitter honest.
+constexpr const char* kCompileFlags =
+    "-std=c11 -O2 -fPIC -shared -Wall -Wextra -Werror -ffp-contract=off";
+
+std::string digest_hex(const support::Fingerprint& fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp.digest));
+  return buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Atomic publish: write to a pid-suffixed temp file, then rename(2) into
+/// place, so concurrent processes building the same key can never observe
+/// a half-written artifact.
+void write_file_atomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CORTEX_CHECK(out.good()) << "cannot write " << tmp;
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    CORTEX_CHECK(out.good()) << "short write to " << tmp;
+  }
+  CORTEX_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
+      << "rename " << tmp << " -> " << path << " failed";
+}
+
+support::Fingerprint kernel_key(const ilir::Program& program,
+                                const MemoryPlan* plan,
+                                const std::string& cc) {
+  support::FingerprintBuilder fb;
+  fb.tag('J');
+  fb.add(1);  // cortex-jit-abi version
+  fb.add(cc);
+  fb.add(kCompileFlags);
+  ilir::fingerprint(program, fb);
+  if (plan != nullptr)
+    fingerprint(*plan, fb);
+  else
+    fb.tag('0');
+  return fb.finish();
+}
+
+}  // namespace
+
+void JitKernel::open(const std::string& lib, const std::string& symbol) {
+  void* handle = ::dlopen(lib.c_str(), RTLD_NOW | RTLD_LOCAL);
+  CORTEX_CHECK(handle != nullptr)
+      << "dlopen(" << lib << ") failed: " << ::dlerror();
+  void* sym = ::dlsym(handle, symbol.c_str());
+  if (sym == nullptr) {
+    const std::string err = ::dlerror() ? ::dlerror() : "?";
+    ::dlclose(handle);
+    CORTEX_CHECK(false) << "dlsym(" << symbol << ") failed: " << err;
+  }
+  handle_ = handle;
+  fn_ = reinterpret_cast<Fn>(sym);
+  symbol_ = symbol;
+  library_path_ = lib;
+}
+
+JitKernel::~JitKernel() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+JitCache& JitCache::instance() {
+  static JitCache* cache = new JitCache();  // never destroyed, like
+  return *cache;                            // PlanCache::instance()
+}
+
+std::string JitCache::cache_dir() {
+  if (const char* dir = std::getenv("CORTEX_JIT_CACHE_DIR");
+      dir != nullptr && *dir != '\0')
+    return dir;
+  return "/tmp/cortex-jit-" + std::to_string(::getuid());
+}
+
+JitKernelPtr JitCache::get_or_build(const ilir::Program& program,
+                                    const MemoryPlan* plan,
+                                    const MemoryPlanOptions& plan_opts,
+                                    runtime::Profiler* profiler) {
+  const std::string cc = jit_compiler();
+  const support::Fingerprint key = kernel_key(program, plan, cc);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+
+  // First sight of this kernel in this process: verification is forced —
+  // regardless of CORTEX_ILIR_VERIFY — because the kernel will execute
+  // with no interpreter safety net (see header).
+  ilir::verify_or_throw(program, "jit");
+  if (plan != nullptr)
+    verify_memory_plan_or_throw(program, *plan, "jit", plan_opts);
+
+  // Build outside the lock (compiles are slow; a rare duplicate build of
+  // the same key is benign — identical artifacts, atomic publication).
+  JitKernelPtr built;
+  try {
+    built = build_locked_out(key, program, plan);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    throw;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(key, built);
+  if (!inserted) {
+    ++stats_.memory_hits;  // another thread won the race
+    return it->second;
+  }
+  if (built->from_disk()) {
+    ++stats_.disk_hits;
+    if (profiler != nullptr) ++profiler->jit_disk_hits;
+  } else {
+    ++stats_.compiles;
+    if (profiler != nullptr) ++profiler->jit_compiles;
+  }
+  return built;
+}
+
+JitKernelPtr JitCache::build_locked_out(const support::Fingerprint& key,
+                                        const ilir::Program& program,
+                                        const MemoryPlan* plan) {
+  const std::string hex = digest_hex(key);
+  const std::string dir = cache_dir();
+  std::filesystem::create_directories(dir);
+  const std::string src_path = dir + "/cx_" + hex + ".c";
+  const std::string lib_path = dir + "/cx_" + hex + ".so";
+
+  ilir::CodegenOptions opts;
+  opts.symbol = "cortex_kernel_" + hex;
+  if (plan != nullptr)
+    for (const BufferPlanEntry& e : plan->entries)
+      opts.arena.push_back({e.buffer, e.slot});
+  const ilir::CKernelSource src = ilir::codegen_c_kernel(program, opts);
+
+  auto kernel = std::shared_ptr<JitKernel>(new JitKernel());
+  kernel->params_order_ = src.params_order;
+  kernel->has_arena_ = plan != nullptr;
+
+  // Disk reuse: only when the persisted source matches the regenerated
+  // source byte-for-byte (fingerprint collisions and emitter changes both
+  // fail this comparison and fall through to a rebuild).
+  if (std::filesystem::exists(lib_path) && read_file(src_path) == src.code) {
+    kernel->open(lib_path, src.symbol);
+    kernel->from_disk_ = true;
+    return kernel;
+  }
+
+  write_file_atomic(src_path, src.code);
+  const std::string tmp_lib =
+      lib_path + ".tmp." + std::to_string(::getpid());
+  const std::string log_path =
+      lib_path + ".log." + std::to_string(::getpid());
+  const std::string cmd = jit_compiler() + " " + kCompileFlags + " -o '" +
+                          tmp_lib + "' '" + src_path + "' -lm 2> '" +
+                          log_path + "'";
+  const std::int64_t t0 = runtime::now_ns();
+  const int rc = std::system(cmd.c_str());
+  const double ns = static_cast<double>(runtime::now_ns() - t0);
+  if (rc != 0) {
+    const std::string log = read_file(log_path);
+    std::remove(tmp_lib.c_str());
+    std::remove(log_path.c_str());
+    CORTEX_CHECK(false) << "JIT compile failed (exit " << rc << "): " << cmd
+                        << "\n"
+                        << log;
+  }
+  std::remove(log_path.c_str());
+  CORTEX_CHECK(std::rename(tmp_lib.c_str(), lib_path.c_str()) == 0)
+      << "rename " << tmp_lib << " -> " << lib_path << " failed";
+
+  kernel->open(lib_path, src.symbol);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.compile_ns += ns;
+  }
+  return kernel;
+}
+
+JitStats JitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void JitCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = JitStats{};
+}
+
+void JitCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+bool jit_enabled() { return env_on("CORTEX_JIT"); }
+
+bool jit_check_enabled() { return env_on("CORTEX_JIT_CHECK"); }
+
+std::string jit_compiler() {
+  if (const char* cc = std::getenv("CORTEX_JIT_CC");
+      cc != nullptr && *cc != '\0')
+    return cc;
+  return "cc";
+}
+
+}  // namespace cortex::exec

@@ -1,0 +1,155 @@
+#pragma once
+// JIT execution of optimized ILIR programs: render the program as C
+// (ilir/codegen_c.hpp), compile it with the system toolchain, dlopen the
+// shared object, and hand run_ilir a function pointer — the TVM-style
+// "specialized kernel per (model, schedule, device)" loop closed (see
+// ROADMAP, and popart's graph-build/device-binary split for the disk
+// half). Three layers of caching:
+//   1. in-process registry keyed by the canonical fingerprint of
+//      (abi, compiler command, program, memory plan) — warm engines
+//      share one dlopen'd handle,
+//   2. on-disk artifacts (<cache_dir>/cx_<digest>.c + .so): a second
+//      process with the same fingerprint dlopens the persisted .so with
+//      ZERO compiler invocations (JitStats::compiles stays 0, disk_hits
+//      counts the reuse). Staleness is decided by source comparison: the
+//      cache regenerates the C and only reuses the .so when the on-disk
+//      source matches byte-for-byte, so a codegen change (or fingerprint
+//      collision) can never resurrect a stale kernel,
+//   3. exec::CompiledArtifacts carries the kernel next to the Plan, so
+//      the PlanCache's LRU + single-flight discipline extends to JIT'd
+//      kernels for free.
+//
+// Safety posture (first release): the ILIR static verifier and the
+// memory-plan verifier run on EVERY kernel build or disk reuse regardless
+// of CORTEX_ILIR_VERIFY — a dlopen'd kernel executes whatever the pass
+// pipeline emitted with no interpreter bounds checks, so it never runs
+// unverified IR. The interpreter stays the differential oracle:
+// CORTEX_JIT_CHECK=1 makes run_ilir execute both paths and require
+// bit-identical buffers and barrier counts.
+//
+// Knobs (read per call, so tests can flip them):
+//   CORTEX_JIT            non-empty and != "0": run_ilir dispatches to
+//                         the kernel and exec::compile_artifacts builds
+//                         kernels eagerly
+//   CORTEX_JIT_CHECK      also interpret and compare bitwise
+//   CORTEX_JIT_CACHE_DIR  artifact directory (default /tmp/cortex-jit-<uid>)
+//   CORTEX_JIT_CC         compiler command (default "cc")
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/memory_plan.hpp"
+#include "ilir/ilir.hpp"
+#include "support/fingerprint.hpp"
+
+namespace cortex::runtime {
+struct Profiler;
+}
+
+namespace cortex::exec {
+
+/// Cumulative build accounting (process-wide; see JitCache::stats).
+struct JitStats {
+  std::int64_t compiles = 0;     ///< toolchain invocations (cold builds)
+  std::int64_t disk_hits = 0;    ///< persisted .so reused without compiling
+  std::int64_t memory_hits = 0;  ///< in-process registry hits
+  std::int64_t failures = 0;     ///< compile/load failures (thrown)
+  double compile_ns = 0.0;       ///< wall time inside the toolchain
+};
+
+/// One dlopen'd kernel; immutable once built, closed on destruction.
+class JitKernel {
+ public:
+  /// The cortex-jit-abi 1 signature (ilir/codegen_c.hpp documents the
+  /// argument tables).
+  using Fn = void (*)(float* arena, const std::int64_t* slot_offsets,
+                      float* const* params, const std::int32_t* const* lin,
+                      const std::int64_t* scalars, std::int64_t* counters);
+
+  ~JitKernel();
+  JitKernel(const JitKernel&) = delete;
+  JitKernel& operator=(const JitKernel&) = delete;
+
+  Fn fn() const { return fn_; }
+  /// Float buffers the kernel expects in params[], in table order.
+  const std::vector<std::string>& params_order() const {
+    return params_order_;
+  }
+  const std::string& symbol() const { return symbol_; }
+  const std::string& library_path() const { return library_path_; }
+  /// Built against a memory plan: run_ilir must supply the arena +
+  /// resolved slot offsets of that plan.
+  bool has_arena() const { return has_arena_; }
+  /// Reused from a persisted artifact (no toolchain invocation).
+  bool from_disk() const { return from_disk_; }
+
+ private:
+  friend class JitCache;
+  JitKernel() = default;
+  /// dlopens `lib` and resolves `symbol`; throws cortex::Error on either
+  /// failure.
+  void open(const std::string& lib, const std::string& symbol);
+
+  void* handle_ = nullptr;
+  Fn fn_ = nullptr;
+  std::vector<std::string> params_order_;
+  std::string symbol_;
+  std::string library_path_;
+  bool has_arena_ = false;
+  bool from_disk_ = false;
+};
+
+using JitKernelPtr = std::shared_ptr<const JitKernel>;
+
+/// Process-wide kernel registry + on-disk artifact store.
+class JitCache {
+ public:
+  static JitCache& instance();
+
+  /// Returns the kernel for (program, plan), building and persisting it
+  /// if needed. Verification is forced (see header comment); throws
+  /// cortex::Error on verification or toolchain failure. `plan_opts`
+  /// carries the live-out set the plan was computed with so the plan
+  /// verifier re-proves the exact plan. `profiler`, when set, receives
+  /// jit_compiles / jit_disk_hits increments.
+  JitKernelPtr get_or_build(const ilir::Program& program,
+                            const MemoryPlan* plan,
+                            const MemoryPlanOptions& plan_opts = {},
+                            runtime::Profiler* profiler = nullptr);
+
+  JitStats stats() const;
+  void reset_stats();
+  /// Drops the in-process registry (disk artifacts stay): the next
+  /// get_or_build must take the disk path, which is how tests prove a
+  /// "second process" reuses persisted artifacts with zero compiles.
+  void clear_memory();
+  /// Artifact directory currently in effect (created lazily on build).
+  static std::string cache_dir();
+
+ private:
+  JitCache() = default;
+
+  JitKernelPtr build_locked_out(const support::Fingerprint& key,
+                                const ilir::Program& program,
+                                const MemoryPlan* plan);
+
+  mutable std::mutex mu_;
+  std::unordered_map<support::Fingerprint, JitKernelPtr,
+                     support::FingerprintHash>
+      map_;
+  JitStats stats_;
+};
+
+/// CORTEX_JIT set, non-empty and != "0" (read per call).
+bool jit_enabled();
+/// CORTEX_JIT_CHECK set, non-empty and != "0": run_ilir also interprets
+/// and requires bitwise-identical results.
+bool jit_check_enabled();
+/// Compiler command: CORTEX_JIT_CC or "cc".
+std::string jit_compiler();
+
+}  // namespace cortex::exec

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/jit.hpp"
 #include "exec/memory_plan.hpp"
 #include "ilir/passes.hpp"
 #include "ilir/verify.hpp"
@@ -60,6 +61,14 @@ CompiledArtifacts compile_artifacts(const models::ModelDef& def,
       verify_memory_plan_or_throw(*a.optimized, *mem, "final", mp_opts);
     a.plan.ilir_memory = std::move(mem);
     a.lowered = std::move(lm);
+    // Under CORTEX_JIT, build (or dlopen the persisted) kernel eagerly so
+    // the plan cache amortizes the toolchain invocation exactly like the
+    // rest of compilation. get_or_build forces verification on the
+    // program + plan whatever CORTEX_ILIR_VERIFY says, and throws on
+    // toolchain failure — nothing is cached on a throw.
+    if (jit_enabled())
+      a.jit = JitCache::instance().get_or_build(
+          *a.optimized, a.plan.ilir_memory.get(), mp_opts);
   } else {
     // Cell-only models (the sequential Fig. 9 cells) still respect the
     // Appendix-D register-pressure constraint.

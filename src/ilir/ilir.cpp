@@ -220,6 +220,95 @@ bool struct_equal(const Stmt& a, const Stmt& b) {
   return true;
 }
 
+namespace {
+void fingerprint_opt(const Expr& e, support::FingerprintBuilder& fb) {
+  if (!e) {
+    fb.tag('0');
+    return;
+  }
+  ra::fingerprint(e, fb);
+}
+}  // namespace
+
+void fingerprint(const Buffer& b, support::FingerprintBuilder& fb) {
+  fb.tag('B');
+  fb.add_short(b.name);
+  fb.count(b.shape.size());
+  for (const Expr& e : b.shape) fingerprint_opt(e, fb);
+  fb.count(b.dims.size());
+  for (const std::string& d : b.dims) fb.add_short(d);
+  fb.small(static_cast<std::uint8_t>(b.scope));
+  fb.small(static_cast<std::uint8_t>(b.dtype));
+}
+
+void fingerprint(const Stmt& s, support::FingerprintBuilder& fb) {
+  if (!s) {
+    fb.tag('0');
+    return;
+  }
+  fb.tag('S');
+  fb.small(static_cast<std::uint8_t>(s->kind));
+  switch (s->kind) {
+    case StmtKind::kFor:
+      fb.add_short(s->var);
+      fingerprint_opt(s->min, fb);
+      fingerprint_opt(s->extent, fb);
+      fb.small(static_cast<std::uint8_t>(s->fkind));
+      fb.add(s->carries_dependence);
+      fb.add(s->is_node_loop);
+      fb.add_short(s->dim);
+      fingerprint(s->body, fb);
+      break;
+    case StmtKind::kLet:
+      fb.add_short(s->var);
+      fingerprint_opt(s->value, fb);
+      fb.add_short(s->dim);
+      fingerprint(s->body, fb);
+      break;
+    case StmtKind::kStore:
+      fb.add_short(s->buffer);
+      fb.count(s->indices.size());
+      for (const Expr& e : s->indices) fingerprint_opt(e, fb);
+      fingerprint_opt(s->value, fb);
+      break;
+    case StmtKind::kSeq:
+      fb.count(s->stmts.size());
+      for (const Stmt& t : s->stmts) fingerprint(t, fb);
+      break;
+    case StmtKind::kIf:
+      fingerprint_opt(s->cond, fb);
+      fingerprint(s->then_s, fb);
+      fingerprint(s->else_s, fb);
+      break;
+    case StmtKind::kBarrier:
+      break;
+    case StmtKind::kComment:
+      fb.add_short(s->text);
+      break;
+  }
+}
+
+void fingerprint(const Program& p, support::FingerprintBuilder& fb) {
+  fb.tag('P');
+  fb.add_short(p.name);
+  fb.count(p.buffers.size());
+  for (const Buffer& b : p.buffers) fingerprint(b, fb);
+  fb.count(p.dim_extents.size());
+  for (const auto& [name, extent] : p.dim_extents) {
+    fb.add_short(name);
+    fingerprint_opt(extent, fb);
+  }
+  fb.count(p.params.size());
+  for (const std::string& s : p.params) fb.add_short(s);
+  fingerprint(p.body, fb);
+}
+
+support::Fingerprint fingerprint(const Program& p) {
+  support::FingerprintBuilder fb;
+  fingerprint(p, fb);
+  return fb.finish();
+}
+
 Stmt transform(const Stmt& s, const std::function<Stmt(const Stmt&)>& f) {
   CORTEX_CHECK(s != nullptr) << "transform(null)";
   StmtNode n = *s;

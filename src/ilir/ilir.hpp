@@ -138,6 +138,15 @@ std::string to_string(const Program& p);
 /// Structural deep-equality of statement trees.
 bool struct_equal(const Stmt& a, const Stmt& b);
 
+/// Canonical structural encodings (the JIT keys compiled kernels on the
+/// program fingerprint; see support/fingerprint.hpp for the encoding
+/// contract). A null Stmt encodes as a distinct marker, so optional
+/// children (else branches) can never re-associate.
+void fingerprint(const Buffer& b, support::FingerprintBuilder& fb);
+void fingerprint(const Stmt& s, support::FingerprintBuilder& fb);
+void fingerprint(const Program& p, support::FingerprintBuilder& fb);
+support::Fingerprint fingerprint(const Program& p);
+
 // -- tree walking helpers (used by passes) -----------------------------------
 
 /// Applies f bottom-up to every statement; f may return a replacement.

@@ -72,6 +72,15 @@ struct Profiler {
   /// with a dead buffer instead of newly allocated).
   std::int64_t ilir_buffers_reused = 0;
 
+  // -- JIT execution (exec/jit.hpp) ------------------------------------------
+  /// Kernel builds that invoked the system toolchain (cold artifacts).
+  std::int64_t jit_compiles = 0;
+  /// Kernel builds satisfied by a persisted on-disk artifact (dlopen
+  /// only — the zero-compile warm-process path).
+  std::int64_t jit_disk_hits = 0;
+  /// ILIR runs executed by a JIT'd kernel instead of the interpreter.
+  std::int64_t jit_runs = 0;
+
   void reset() { *this = Profiler{}; }
 
   /// End-to-end modeled inference latency: host framework work + host API

@@ -1,0 +1,356 @@
+// JIT execution path (exec/jit.hpp): the zoo x schedule x batch-size
+// differential battery (JIT'd kernels bit-identical to the interpreter on
+// every buffer, with the static verifier forced on), kernel sharing
+// through compile_artifacts, on-disk artifact persistence (a "second
+// process" — simulated by dropping the in-memory registry — reuses the
+// .so with zero compiles), stale-source rebuilds, toolchain-failure
+// surfacing, and the CORTEX_JIT_CHECK oracle mode.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/artifacts.hpp"
+#include "exec/ilir_runner.hpp"
+#include "exec/jit.hpp"
+#include "exec/memory_plan.hpp"
+#include "lowering/lower.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/device.hpp"
+#include "runtime/profiler.hpp"
+#include "support/logging.hpp"
+
+namespace cortex::exec {
+namespace {
+
+/// Guard: saves/restores one environment variable on scope exit.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    had_ = v != nullptr;
+    if (had_) saved_ = v;
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+  void set(const std::string& v) { setenv(name_.c_str(), v.c_str(), 1); }
+  void unset() { unsetenv(name_.c_str()); }
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// One private artifact directory for the whole test binary, so disk
+/// counters are deterministic and parallel ctest jobs never share state.
+const std::string& test_cache_dir() {
+  static const std::string dir = [] {
+    char tmpl[] = "/tmp/cortex-jit-test-XXXXXX";
+    const char* d = mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    setenv("CORTEX_JIT_CACHE_DIR", d, 1);
+    return std::string(d ? d : "/tmp/cortex-jit-test-fallback");
+  }();
+  return dir;
+}
+
+std::vector<models::ModelDef> zoo() {
+  std::vector<models::ModelDef> defs;
+  defs.push_back(models::make_treefc(16));
+  defs.push_back(models::make_treefc_embed(16));
+  defs.push_back(models::make_dagrnn(16));
+  defs.push_back(models::make_treegru(16));
+  defs.push_back(models::make_treegru_embed(16));
+  defs.push_back(models::make_simple_treegru(16));
+  defs.push_back(models::make_treelstm(16));
+  defs.push_back(models::make_treelstm_embed(16));
+  defs.push_back(models::make_mvrnn(8));
+  defs.push_back(models::make_treernn(16));
+  defs.push_back(models::make_treernn_fig1(16));
+  defs.push_back(models::make_treernn_zeroleaf(16));
+  defs.push_back(models::make_seq_lstm(16));
+  defs.push_back(models::make_seq_gru(16));
+  return defs;
+}
+
+std::vector<std::pair<std::string, ra::Schedule>> schedule_variants(
+    bool dag_model) {
+  std::vector<std::pair<std::string, ra::Schedule>> out;
+  out.emplace_back("default", ra::Schedule{});
+  out.emplace_back("unoptimized", ra::Schedule::unoptimized());
+  out.emplace_back("cavs_comparable", ra::Schedule::cavs_comparable());
+  {
+    ra::Schedule s;
+    s.dynamic_batching = false;
+    out.emplace_back("no_dynamic_batching", s);
+  }
+  {
+    ra::Schedule s;
+    s.loop_peeling = false;
+    out.emplace_back("no_peeling", s);
+  }
+  {
+    ra::Schedule s;
+    s.dense_intermediates = false;
+    out.emplace_back("no_dense_indexing", s);
+  }
+  if (!dag_model) {
+    ra::Schedule s;
+    s.unroll_depth = 2;
+    s.persistence = false;  // Appendix D
+    out.emplace_back("unrolled", s);
+  }
+  return out;
+}
+
+linearizer::Linearized linearize_for(const models::ModelDef& def,
+                                     const lowering::LoweredModel& lm,
+                                     int batch, Rng& rng) {
+  if (def.model->kind == linearizer::StructureKind::kDag) {
+    std::vector<std::unique_ptr<ds::Dag>> dags;
+    for (int b = 0; b < batch; ++b) dags.push_back(ds::make_grid_dag(4, 4, rng));
+    return linearizer::linearize_dags(baselines::raw(dags), lm.lin_spec);
+  }
+  auto trees = ds::make_sst_like_batch(batch, rng);
+  return linearizer::linearize_trees(baselines::raw(trees), lm.lin_spec);
+}
+
+void expect_runs_bit_identical(const IlirRun& jit, const IlirRun& interp,
+                               const std::string& trace) {
+  ASSERT_EQ(jit.barriers, interp.barriers) << trace;
+  ASSERT_EQ(jit.buffers.size(), interp.buffers.size()) << trace;
+  for (const auto& [name, tensor] : jit.buffers) {
+    const Tensor& ref = interp.at(name);
+    ASSERT_EQ(tensor.numel(), ref.numel()) << trace << " buffer " << name;
+    EXPECT_EQ(std::memcmp(tensor.data(), ref.data(),
+                          static_cast<std::size_t>(tensor.numel()) *
+                              sizeof(float)),
+              0)
+        << trace << ": JIT diverged from interpreter in buffer " << name;
+  }
+}
+
+// -- the acceptance battery ---------------------------------------------------
+
+TEST(JitDifferential, ZooTimesSchedulesTimesBatchesBitIdentical) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.set("1");
+  Rng rng(41);
+  for (const models::ModelDef& def : zoo()) {
+    if (!def.model) continue;
+    const models::ModelParams params = models::init_params(def, rng);
+    const bool dag = def.name == "DAG-RNN";
+    for (const auto& [label, schedule] : schedule_variants(dag)) {
+      SCOPED_TRACE(def.name + " / " + label);
+      // compile_artifacts builds the kernel eagerly under CORTEX_JIT
+      // (verification forced inside get_or_build).
+      const CompiledArtifacts a =
+          compile_artifacts(def, schedule, runtime::DeviceSpec::v100_gpu());
+      ASSERT_TRUE(a.optimized.has_value());
+      ASSERT_TRUE(a.jit != nullptr);
+      ASSERT_TRUE(a.jit->fn() != nullptr);
+      for (int batch : {1, 3}) {
+        SCOPED_TRACE("batch " + std::to_string(batch));
+        const linearizer::Linearized lin =
+            linearize_for(def, *a.lowered, batch, rng);
+        IlirRunOptions jit_opts;
+        jit_opts.plan = a.plan.ilir_memory.get();
+        jit_opts.jit = a.jit.get();
+        const IlirRun jit_run = run_ilir(*a.optimized, lin, params, jit_opts);
+        IlirRunOptions interp_opts;
+        interp_opts.plan = a.plan.ilir_memory.get();
+        const IlirRun interp_run =
+            run_ilir(*a.optimized, lin, params, interp_opts);
+        expect_runs_bit_identical(jit_run, interp_run,
+                                  def.name + " / " + label);
+      }
+    }
+  }
+}
+
+TEST(JitDifferential, KernelWithoutMemoryPlanMatchesInterpreter) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.set("1");
+  Rng rng(43);
+  const models::ModelDef def = models::make_treelstm(16);
+  const models::ModelParams params = models::init_params(def, rng);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+  // Build against no plan: every float buffer routes through params[].
+  const JitKernelPtr kernel =
+      JitCache::instance().get_or_build(lm.program, nullptr);
+  ASSERT_TRUE(kernel != nullptr);
+  EXPECT_FALSE(kernel->has_arena());
+  const linearizer::Linearized lin = linearize_for(def, lm, 3, rng);
+  IlirRunOptions jit_opts;
+  jit_opts.jit = kernel.get();
+  const IlirRun jit_run = run_ilir(lm.program, lin, params, jit_opts);
+  const IlirRun interp_run = run_ilir(lm.program, lin, params);
+  expect_runs_bit_identical(jit_run, interp_run, "no-plan kernel");
+}
+
+TEST(JitDifferential, CheckModeRunsBothPathsAndAgrees) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard check_env("CORTEX_JIT_CHECK");
+  jit_env.set("1");
+  check_env.set("1");
+  Rng rng(47);
+  const models::ModelDef def = models::make_treernn_fig1(16);
+  const models::ModelParams params = models::init_params(def, rng);
+  const CompiledArtifacts a =
+      compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
+  ASSERT_TRUE(a.jit != nullptr);
+  const linearizer::Linearized lin = linearize_for(def, *a.lowered, 3, rng);
+  IlirRunOptions opts;
+  opts.plan = a.plan.ilir_memory.get();
+  opts.jit = a.jit.get();
+  runtime::Profiler prof;
+  opts.profiler = &prof;
+  const IlirRun run = run_ilir(*a.optimized, lin, params, opts);
+  EXPECT_GT(run.barriers, 0);
+  EXPECT_EQ(prof.jit_runs, 1);
+}
+
+// -- caching ------------------------------------------------------------------
+
+TEST(JitCacheTest, RecompileSharesTheSameKernelHandle) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.set("1");
+  const models::ModelDef def = models::make_treegru(16);
+  const JitStats before = JitCache::instance().stats();
+  const CompiledArtifacts a1 =
+      compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
+  const CompiledArtifacts a2 =
+      compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
+  ASSERT_TRUE(a1.jit != nullptr);
+  // Same fingerprint -> the registry returns the same dlopen'd kernel.
+  EXPECT_EQ(a1.jit.get(), a2.jit.get());
+  const JitStats after = JitCache::instance().stats();
+  EXPECT_GE(after.memory_hits, before.memory_hits + 1);
+}
+
+TEST(JitCacheTest, DiskArtifactReusedWithZeroCompiles) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.set("1");
+  const models::ModelDef def = models::make_simple_treegru(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+  const MemoryPlanOptions mp_opts{{lm.output}, {}};
+  const MemoryPlan plan = plan_memory(lm.program, mp_opts);
+
+  JitCache& cache = JitCache::instance();
+  const JitKernelPtr first =
+      cache.get_or_build(lm.program, &plan, mp_opts);
+  ASSERT_TRUE(first != nullptr);
+
+  // "Second process": drop the in-memory registry; the persisted .so must
+  // satisfy the rebuild without invoking the toolchain.
+  cache.clear_memory();
+  const JitStats before = cache.stats();
+  runtime::Profiler prof;
+  const JitKernelPtr second =
+      cache.get_or_build(lm.program, &plan, mp_opts, &prof);
+  const JitStats after = cache.stats();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_TRUE(second->from_disk());
+  EXPECT_EQ(after.compiles, before.compiles);  // zero new compiles
+  EXPECT_EQ(after.disk_hits, before.disk_hits + 1);
+  EXPECT_EQ(prof.jit_disk_hits, 1);
+  EXPECT_EQ(prof.jit_compiles, 0);
+  // And the reloaded kernel still computes the same bytes.
+  Rng rng(53);
+  const models::ModelParams params = models::init_params(def, rng);
+  const linearizer::Linearized lin = linearize_for(def, lm, 2, rng);
+  IlirRunOptions jit_opts;
+  jit_opts.plan = &plan;
+  jit_opts.jit = second.get();
+  const IlirRun jit_run = run_ilir(lm.program, lin, params, jit_opts);
+  IlirRunOptions interp_opts;
+  interp_opts.plan = &plan;
+  const IlirRun interp_run = run_ilir(lm.program, lin, params, interp_opts);
+  expect_runs_bit_identical(jit_run, interp_run, "disk-reloaded kernel");
+}
+
+TEST(JitCacheTest, StaleDiskSourceTriggersRebuild) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.set("1");
+  const models::ModelDef def = models::make_treefc(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  JitCache& cache = JitCache::instance();
+  const JitKernelPtr first = cache.get_or_build(lm.program, nullptr);
+  ASSERT_TRUE(first != nullptr);
+
+  // Corrupt the persisted source: the cache must refuse the .so (source
+  // comparison fails) and rebuild from scratch.
+  {
+    std::ofstream out(first->library_path().substr(
+                          0, first->library_path().size() - 3) +
+                          ".c",
+                      std::ios::trunc);
+    out << "/* stale */\n";
+  }
+  cache.clear_memory();
+  const JitStats before = cache.stats();
+  const JitKernelPtr second = cache.get_or_build(lm.program, nullptr);
+  const JitStats after = cache.stats();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_FALSE(second->from_disk());
+  EXPECT_EQ(after.compiles, before.compiles + 1);
+}
+
+TEST(JitCacheTest, ToolchainFailureSurfacesAsError) {
+  test_cache_dir();
+  EnvGuard cc_env("CORTEX_JIT_CC");
+  cc_env.set("/bin/false");
+  const models::ModelDef def = models::make_treernn(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+  const JitStats before = JitCache::instance().stats();
+  EXPECT_THROW(JitCache::instance().get_or_build(lm.program, nullptr),
+               cortex::Error);
+  const JitStats after = JitCache::instance().stats();
+  EXPECT_EQ(after.failures, before.failures + 1);
+}
+
+TEST(JitCacheTest, EnabledKnobSemantics) {
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.unset();
+  EXPECT_FALSE(jit_enabled());
+  jit_env.set("0");
+  EXPECT_FALSE(jit_enabled());
+  jit_env.set("");
+  EXPECT_FALSE(jit_enabled());
+  jit_env.set("1");
+  EXPECT_TRUE(jit_enabled());
+}
+
+TEST(JitCacheTest, DisabledJitLeavesArtifactsWithoutKernel) {
+  EnvGuard jit_env("CORTEX_JIT");
+  jit_env.unset();
+  const models::ModelDef def = models::make_treernn(16);
+  const CompiledArtifacts a =
+      compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
+  EXPECT_TRUE(a.optimized.has_value());
+  EXPECT_TRUE(a.jit == nullptr);
+}
+
+}  // namespace
+}  // namespace cortex::exec
