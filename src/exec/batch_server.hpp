@@ -1,0 +1,251 @@
+#pragma once
+// BatchServer: the dynamic-batching request-queue front-end over
+// exec::EnginePool — the piece that turns the repo's batch harness into a
+// server (ROADMAP: BatchMaker-style cellular batching; Gao et al., and
+// Jeong et al.'s recursion batching in PAPERS.md).
+//
+// The paper's batching story (Cortex linearizes recursive structures so a
+// whole mini-batch runs as dense wavefront panels) only pays off in
+// production if single-structure requests are coalesced into those
+// mini-batches: one SST-sized tree alone runs one-row "panels" (GEMVs),
+// while 64 coalesced trees run the same depths as wide panel GEMMs that
+// are several times cheaper per structure. This server does that
+// coalescing under an explicit latency budget:
+//
+//   client threads ──submit()──► BoundedQueue ──► dispatcher(s)
+//        ▲                                          │  coalesce ≤ max_batch,
+//        └──────── std::future<ServedResult> ◄──────┘  wait ≤ max_wait_us,
+//                                                      EnginePool::run,
+//                                                      demux per request
+//
+//   - submit() is future-style: it enqueues one Tree/DAG request and
+//     returns immediately; the caller joins on the future. One structure
+//     instance must not be in flight twice at once (the linearizer
+//     writes per-node scratch into it), and it must stay alive until the
+//     future resolves.
+//   - A dispatcher pops the oldest request, then keeps admitting requests
+//     until the batch holds max_batch of them or max_wait_us elapses
+//     (max_wait_us = 0 admits whatever is queued right now — greedy,
+//     no added latency). The batch runs on the EnginePool, which shards
+//     it across worker engines; per-request root states are sliced back
+//     out of the merged result (runtime::split_by_request) in submission
+//     order.
+//   - Deadlines: a request with deadline_us > 0 that is already expired
+//     when a dispatcher would admit it completes with kDeadlineExceeded
+//     and never occupies a batch slot.
+//   - Backpressure: the queue is bounded. OnFull::kBlock makes submit()
+//     wait for space (closed-loop degradation); OnFull::kReject completes
+//     the request immediately with kRejected.
+//   - Failure isolation: EnginePool::run fails a whole batch on the first
+//     shard error, so the server (a) optionally pre-validates structures
+//     at admission (validate_on_submit) and (b) re-runs a failing batch
+//     bisection-style: halves recursively until the poisoned requests are
+//     alone and fail individually (kError) while every healthy co-batched
+//     request still completes with results bit-identical to an
+//     uncoalesced run. O(log batch) re-runs in the failure case, zero
+//     overhead on the happy path.
+//   - Metrics: counters plus p50/p99/p999 of queue and end-to-end
+//     latency, an achieved-batch-size histogram and served throughput
+//     (metrics(), cheap enough to poll).
+//
+// Determinism: coalescing never perturbs numerics — each structure's node
+// states depend only on its own nodes (the engine-pool invariant), so a
+// request's root states are bit-identical whether it rode a batch of 1 or
+// of max_batch, at any worker count. Pinned by tests/test_batch_server*.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine_pool.hpp"
+#include "support/bounded_queue.hpp"
+
+namespace cortex::exec {
+
+/// Terminal state of one served request.
+enum class RequestStatus {
+  kOk,                ///< root_states carries the result
+  kError,             ///< structure rejected or failed; see error
+  kDeadlineExceeded,  ///< expired before a dispatcher could admit it
+  kRejected,          ///< bounded queue full under OnFull::kReject
+  kShutdown,          ///< server shut down before the request was served
+};
+
+const char* to_string(RequestStatus status);
+
+/// What a submit() future resolves to.
+struct ServedResult {
+  RequestStatus status = RequestStatus::kError;
+  /// Error detail for kError (validation or execution failure message).
+  std::string error;
+  /// On kOk: the request's root states — one entry for a tree request,
+  /// one per sink node (in node order) for a DAG request. Bit-identical
+  /// to a direct EnginePool::run over the same structure.
+  std::vector<std::vector<float>> root_states;
+  /// Time from submit() to a dispatcher admitting (or expiring) the
+  /// request; 0 when it never reached a dispatcher.
+  double queue_ns = 0.0;
+  /// Time from submit() to completion.
+  double e2e_ns = 0.0;
+  /// Requests coalesced into the mini-batch this one rode in (including
+  /// itself); 0 when it was never batched.
+  std::int64_t batch_size = 0;
+};
+
+struct BatchServerOptions {
+  /// Largest coalesced mini-batch. < 1 uses default_max_batch()
+  /// (CORTEX_SERVER_MAX_BATCH, else 32).
+  std::int64_t max_batch = 0;
+  /// Latency budget: how long a dispatcher waits for co-batchable
+  /// requests after popping the first one. 0 = greedy (no added wait);
+  /// < 0 uses default_max_wait_us() (CORTEX_SERVER_MAX_WAIT_US, else
+  /// 1000).
+  std::int64_t max_wait_us = -1;
+  /// Bound of the admission queue (the backpressure knob).
+  std::size_t queue_capacity = 1024;
+  /// What submit() does when the queue is full.
+  enum class OnFull { kBlock, kReject };
+  OnFull on_full = OnFull::kBlock;
+  /// Validate structures on the client thread at submit() (Tree/Dag
+  /// ::validate() plus the structure-kind check): malformed requests
+  /// fail fast with kError and never reach a batch. The bisection
+  /// fallback still isolates anything validation cannot catch. The
+  /// structure-kind check is always on — a kind mismatch would fail the
+  /// whole batch inside the pool.
+  bool validate_on_submit = true;
+  /// Dispatcher threads forming and running batches concurrently. One
+  /// dispatcher forms the largest batches; a second overlaps batch
+  /// formation with pool execution under load.
+  int dispatchers = 1;
+  /// Start dispatchers in the constructor. Tests set false to stage
+  /// deterministic queue states, then call start().
+  bool autostart = true;
+};
+
+/// Point-in-time metrics snapshot (all counters since construction).
+struct ServerMetrics {
+  struct Latency {
+    std::int64_t count = 0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
+    double max_ns = 0.0;
+    double mean_ns = 0.0;
+  };
+
+  std::int64_t submitted = 0;         ///< accepted into the queue
+  std::int64_t completed_ok = 0;      ///< resolved kOk
+  std::int64_t failed = 0;            ///< resolved kError
+  std::int64_t rejected = 0;          ///< resolved kRejected (backpressure)
+  std::int64_t deadline_missed = 0;   ///< resolved kDeadlineExceeded
+  std::int64_t shutdown_dropped = 0;  ///< resolved kShutdown while queued
+
+  std::int64_t batches = 0;        ///< mini-batches dispatched to the pool
+  std::int64_t bisect_reruns = 0;  ///< failing-batch bisection re-runs
+  /// batch_size_hist[k] = mini-batches that coalesced exactly k requests
+  /// (index 0 unused); size max_batch + 1.
+  std::vector<std::int64_t> batch_size_hist;
+  double mean_batch_size = 0.0;
+  std::int64_t max_batch_size = 0;
+
+  Latency queue;  ///< submit -> admission, requests that reached a batch
+  Latency e2e;    ///< submit -> completion, kOk requests
+  /// completed_ok divided by the first-submit -> last-completion window.
+  double throughput_rps = 0.0;
+};
+
+class BatchServer {
+ public:
+  /// Serves `pool` (not owned; must outlive the server). Throws on
+  /// invalid option combinations.
+  explicit BatchServer(EnginePool& pool, BatchServerOptions opts = {});
+  /// Shuts down: stops intake, drains started dispatchers (every
+  /// admitted request completes), fails still-queued requests with
+  /// kShutdown.
+  ~BatchServer();
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues a single-structure request. deadline_us > 0 bounds how
+  /// long it may sit in the queue before admission. The returned future
+  /// always resolves (never a broken promise).
+  std::future<ServedResult> submit(const ds::Tree* tree,
+                                   std::int64_t deadline_us = 0);
+  std::future<ServedResult> submit(const ds::Dag* dag,
+                                   std::int64_t deadline_us = 0);
+
+  /// Spawns the dispatcher threads (no-op if already started).
+  void start();
+  /// Stops intake and joins dispatchers; idempotent. See ~BatchServer.
+  void shutdown();
+
+  ServerMetrics metrics() const;
+
+  const BatchServerOptions& options() const { return opts_; }
+  EnginePool& pool() { return pool_; }
+
+  /// CORTEX_SERVER_MAX_BATCH when set to a positive integer, else 32.
+  /// Read per call so tests can vary it.
+  static std::int64_t default_max_batch();
+  /// CORTEX_SERVER_MAX_WAIT_US when set to a positive integer, else 1000.
+  static std::int64_t default_max_wait_us();
+
+ private:
+  struct Request {
+    const ds::Tree* tree = nullptr;
+    const ds::Dag* dag = nullptr;
+    /// Root-state entries this request will contribute to a merged batch
+    /// result (1 for trees, #sinks for DAGs) — the demux counts.
+    std::int64_t roots = 0;
+    std::int64_t submit_ns = 0;
+    std::int64_t deadline_ns = 0;  ///< 0 = no deadline (monotonic ns)
+    std::int64_t admit_ns = 0;     ///< set when a dispatcher admits it
+    std::promise<ServedResult> promise;
+  };
+
+  std::future<ServedResult> submit_request(Request req);
+  /// Validates kind (+ full structure when validate_on_submit) and fills
+  /// Request::roots. Returns false after completing the request kError.
+  bool validate(Request& req);
+  void dispatcher_main();
+  /// Admits a popped request into the forming batch, or completes it
+  /// with kDeadlineExceeded without occupying a slot.
+  void admit(Request req, std::vector<Request>& batch);
+  /// Runs [first, first + count) of `batch`, bisecting on failure so one
+  /// poisoned request cannot fail its co-batched neighbours.
+  void run_isolated(std::vector<Request>& batch, std::size_t first,
+                    std::size_t count, std::int64_t coalesced);
+  void complete(Request& req, RequestStatus status, std::string error,
+                std::vector<std::vector<float>> roots, std::int64_t coalesced);
+
+  EnginePool& pool_;
+  BatchServerOptions opts_;
+  bool model_is_dag_ = false;
+  support::BoundedQueue<Request> queue_;
+
+  std::mutex lifecycle_mu_;  ///< guards started_/stopped_ transitions
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> dispatchers_;
+
+  // -- metrics (one mutex; all counters nanosecond-cheap next to a run) --
+  mutable std::mutex metrics_mu_;
+  std::int64_t m_submitted_ = 0;
+  std::int64_t m_ok_ = 0;
+  std::int64_t m_failed_ = 0;
+  std::int64_t m_rejected_ = 0;
+  std::int64_t m_deadline_ = 0;
+  std::int64_t m_shutdown_ = 0;
+  std::int64_t m_batches_ = 0;
+  std::int64_t m_bisects_ = 0;
+  std::vector<std::int64_t> m_batch_hist_;
+  std::vector<double> m_queue_ns_;
+  std::vector<double> m_e2e_ns_;
+  std::int64_t m_first_submit_ns_ = 0;
+  std::int64_t m_last_complete_ns_ = 0;
+};
+
+}  // namespace cortex::exec

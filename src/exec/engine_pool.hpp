@@ -27,7 +27,11 @@
 //   - Exceptions: a throwing shard (malformed structure, structure-kind
 //     mismatch) fails the whole batch — the first shard error is
 //     rethrown from run() after all shards of the batch finished — and
-//     the pool serves subsequent batches normally.
+//     the pool serves subsequent batches normally. Callers that need
+//     per-request isolation inside a coalesced batch sit a BatchServer
+//     (batch_server.hpp) in front, which pre-validates admissions and
+//     bisects a failing batch so one bad structure cannot fail its
+//     co-batched neighbours.
 //
 // Accounting: the merged profiler sums the shards (aggregate work:
 // launches, flops, bytes, modeled times); RunResult::pooled_latency_ns()
@@ -85,6 +89,9 @@ class EnginePool {
   runtime::RunResult run(const std::vector<const ds::Dag*>& dags);
 
   int num_workers() const { return static_cast<int>(engines_.size()); }
+  /// The model this pool serves (the serving front-end checks request
+  /// structure kinds against it at admission).
+  const models::ModelDef& def() const { return def_; }
   /// Worker engine `w` (tests: artifact sharing, thread configuration).
   /// Do not run() it directly while the pool is serving.
   const CortexEngine& engine(int w) const;

@@ -1,16 +1,13 @@
 #include "runtime/profiler.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <sstream>
+
+#include "support/clock.hpp"
 
 namespace cortex::runtime {
 
-std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t now_ns() { return support::monotonic_ns(); }
 
 void Profiler::accumulate(const Profiler& o) {
   kernel_launches += o.kernel_launches;

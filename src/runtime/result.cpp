@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/logging.hpp"
+
 namespace cortex::runtime {
 
 double RunResult::pooled_latency_ns() const {
@@ -48,6 +50,29 @@ void append_shard(RunResult& merged, RunResult&& shard, ShardRecord rec) {
     (void)worker;
     merged.peak_memory_bytes += bytes;
   }
+}
+
+std::vector<std::vector<std::vector<float>>> split_by_request(
+    RunResult&& merged, const std::vector<std::int64_t>& roots_per_request) {
+  std::int64_t total = 0;
+  for (const std::int64_t n : roots_per_request) {
+    CORTEX_CHECK(n >= 0) << "negative root count " << n;
+    total += n;
+  }
+  CORTEX_CHECK(total == static_cast<std::int64_t>(merged.root_states.size()))
+      << "request root counts sum to " << total << " but the batch produced "
+      << merged.root_states.size() << " root states";
+  std::vector<std::vector<std::vector<float>>> out;
+  out.reserve(roots_per_request.size());
+  std::size_t next = 0;
+  for (const std::int64_t n : roots_per_request) {
+    std::vector<std::vector<float>> slice;
+    slice.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+      slice.push_back(std::move(merged.root_states[next++]));
+    out.push_back(std::move(slice));
+  }
+  return out;
 }
 
 }  // namespace cortex::runtime

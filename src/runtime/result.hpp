@@ -72,4 +72,16 @@ struct RunResult {
 /// root_states order of a single-engine run over the whole batch.
 void append_shard(RunResult& merged, RunResult&& shard, ShardRecord rec);
 
+/// Demultiplexes a merged batch result back into per-request root-state
+/// slices: request i receives roots_per_request[i] consecutive entries of
+/// merged.root_states, in submission order. This is the serving-side
+/// inverse of batching — a coalescer (exec::BatchServer) concatenates
+/// single-structure requests into one mini-batch, and the counts (1 per
+/// tree request, one per sink node for a DAG request) recover each
+/// caller's slice. The counts must tile merged.root_states exactly;
+/// throws cortex::Error otherwise. Moves the state vectors out of
+/// `merged`.
+std::vector<std::vector<std::vector<float>>> split_by_request(
+    RunResult&& merged, const std::vector<std::int64_t>& roots_per_request);
+
 }  // namespace cortex::runtime

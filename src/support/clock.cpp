@@ -1,0 +1,17 @@
+#include "support/clock.hpp"
+
+namespace cortex::support {
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::chrono::steady_clock::time_point to_time_point(std::int64_t ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
+}  // namespace cortex::support

@@ -1,0 +1,22 @@
+#pragma once
+// Monotonic clock plumbing shared by the profiler's phase timers and the
+// serving path (queue deadlines, coalescing windows). One definition so
+// every nanosecond timestamp in the repo lives on the same steady
+// timeline — a deadline computed from monotonic_ns() can be handed to a
+// condition-variable wait via to_time_point() without epoch mismatches.
+
+#include <chrono>
+#include <cstdint>
+
+namespace cortex::support {
+
+/// Nanoseconds on the process-wide monotonic timeline
+/// (std::chrono::steady_clock). Never jumps backwards; unrelated to wall
+/// time.
+std::int64_t monotonic_ns();
+
+/// The steady_clock time_point corresponding to a monotonic_ns() value —
+/// for timed condition-variable waits against an absolute deadline.
+std::chrono::steady_clock::time_point to_time_point(std::int64_t ns);
+
+}  // namespace cortex::support

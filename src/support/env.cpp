@@ -1,8 +1,10 @@
 #include "support/env.hpp"
 
-#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
+
+#include "support/logging.hpp"
 
 namespace cortex::support {
 
@@ -10,8 +12,16 @@ int env_positive_int(const char* name, int fallback) {
   if (const char* env = std::getenv(name)) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<int>(std::min(v, 1024l));
+    if (end != env && *end == '\0' && v > 0) {
+      if (v > kEnvPositiveIntCap) {
+        std::ostringstream os;
+        os << name << "=" << v << " exceeds the supported maximum "
+           << kEnvPositiveIntCap << "; clamping to " << kEnvPositiveIntCap;
+        warn(os.str());
+        return kEnvPositiveIntCap;
+      }
+      return static_cast<int>(v);
+    }
   }
   return fallback;
 }

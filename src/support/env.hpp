@@ -1,15 +1,23 @@
 #pragma once
 // Shared parsing for positive-integer operator knobs (CORTEX_THREADS,
-// CORTEX_POOL_WORKERS, ...): these are tuning knobs, not model inputs, so
-// unset/empty/garbage/non-positive values fall back silently instead of
-// erroring. One definition so the clamp and strtol edge cases cannot
-// drift between call sites.
+// CORTEX_POOL_WORKERS, CORTEX_SERVER_MAX_BATCH, ...): these are tuning
+// knobs, not model inputs, so unset/empty/garbage/non-positive values fall
+// back silently instead of erroring. One definition so the clamp and
+// strtol edge cases cannot drift between call sites.
 
 namespace cortex::support {
 
-/// min(value, 1024) when the environment variable `name` holds a positive
-/// integer; `fallback` otherwise. Reads the environment on every call so
-/// tests can vary the knob.
+/// Ceiling applied to every env_positive_int knob: thread/worker/batch
+/// counts beyond this are operator mistakes (or units confusion), not real
+/// configurations this repo supports.
+inline constexpr int kEnvPositiveIntCap = 1024;
+
+/// The environment variable `name` parsed as a positive integer, else
+/// `fallback` (unset, empty, garbage, non-positive). Values above
+/// kEnvPositiveIntCap are clamped to the cap — loudly, through
+/// support::warn, so an operator setting e.g. CORTEX_POOL_WORKERS=4096 on
+/// a big host learns the knob saturated instead of silently getting 1024.
+/// Reads the environment on every call so tests can vary the knob.
 int env_positive_int(const char* name, int fallback);
 
 /// std::thread::hardware_concurrency() with a floor of 1 (it reports 0

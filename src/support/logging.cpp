@@ -1,5 +1,8 @@
 #include "support/logging.hpp"
 
+#include <atomic>
+#include <cstdio>
+
 namespace cortex {
 
 void fail(const char* file, int line, const std::string& msg) {
@@ -9,3 +12,27 @@ void fail(const char* file, int line, const std::string& msg) {
 }
 
 }  // namespace cortex
+
+namespace cortex::support {
+namespace {
+
+void default_warn_handler(const std::string& msg) {
+  std::fprintf(stderr, "[cortex] warning: %s\n", msg.c_str());
+}
+
+std::atomic<WarnHandler>& handler_slot() {
+  static std::atomic<WarnHandler> slot{&default_warn_handler};
+  return slot;
+}
+
+}  // namespace
+
+WarnHandler set_warn_handler(WarnHandler handler) {
+  if (handler == nullptr) handler = &default_warn_handler;
+  WarnHandler prev = handler_slot().exchange(handler);
+  return prev == &default_warn_handler ? nullptr : prev;
+}
+
+void warn(const std::string& msg) { handler_slot().load()(msg); }
+
+}  // namespace cortex::support

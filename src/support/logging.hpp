@@ -38,6 +38,23 @@ class FailStream {
 
 }  // namespace cortex
 
+namespace cortex::support {
+
+/// Sink for non-fatal warnings (operator-knob clamps, degraded-mode
+/// fallbacks): conditions worth surfacing that must not throw. The default
+/// handler writes "[cortex] warning: <msg>" to stderr.
+using WarnHandler = void (*)(const std::string& msg);
+
+/// Installs a warning handler and returns the previous one; nullptr
+/// restores the default stderr handler. Thread-safe (atomic swap), but the
+/// caller owns the usual test discipline of restoring what it replaced.
+WarnHandler set_warn_handler(WarnHandler handler);
+
+/// Reports a warning through the installed handler.
+void warn(const std::string& msg);
+
+}  // namespace cortex::support
+
 /// CORTEX_CHECK(cond) << "message"; throws cortex::Error when cond is false.
 #define CORTEX_CHECK(cond)                                             \
   if (cond) {                                                          \

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/logging.hpp"
+
 namespace cortex::support {
 
 TaskPool::TaskPool(int num_threads)
@@ -11,21 +13,29 @@ TaskPool::TaskPool(int num_threads)
     workers_.emplace_back([this, w] { worker_main(w); });
 }
 
-TaskPool::~TaskPool() {
-  // Workers drain the queue before exiting, so any group still waiting on
-  // an enqueued task is woken rather than deadlocked; well-behaved owners
-  // (EnginePool) have no outstanding groups by the time this runs.
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   cv_.notify_all();
+  // Workers drain the queue before exiting, so any group still waiting on
+  // an enqueued task is woken rather than deadlocked; well-behaved owners
+  // (EnginePool, BatchServer) have no outstanding groups by now.
   for (std::thread& t : workers_) t.join();
 }
 
 void TaskPool::enqueue(TaskGroup* group, Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Checked under the lock: once stop_ is set the workers exit as soon
+    // as the queue drains, so a task slipped in afterwards would never
+    // run and its group would wait forever.
+    CORTEX_CHECK(!stop_) << "TaskPool::enqueue on a stopped pool";
     queue_.emplace_back(group, std::move(task));
   }
   cv_.notify_one();
@@ -49,7 +59,11 @@ void TaskPool::worker_main(int worker) {
     } catch (...) {
       err = std::current_exception();
     }
-    group->finish(err);
+    // Moved, not copied: the exception object may be rethrown to (and
+    // read on) the waiting thread the instant finish() publishes it, so
+    // this thread must not keep a reference whose release would race the
+    // waiter's use (exception_ptr rethrow shares the object).
+    group->finish(std::move(err));
   }
 }
 
@@ -63,22 +77,47 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(TaskPool::Task fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(pool_.group_mu_);
     ++pending_;
   }
-  pool_.enqueue(this, std::move(fn));
+  try {
+    pool_.enqueue(this, std::move(fn));
+  } catch (...) {
+    // The pool rejected the task (shutdown): no worker will ever finish()
+    // it, so unwind the pending count or wait() would hang forever.
+    std::lock_guard<std::mutex> lock(pool_.group_mu_);
+    --pending_;
+    throw;
+  }
 }
 
 void TaskGroup::finish(std::exception_ptr err) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (err && !first_error_) first_error_ = err;
-  --pending_;
-  if (pending_ == 0) cv_.notify_all();
+  // The group is guaranteed alive here (its owner cannot leave wait()
+  // while this task is undecremented), but the moment the lock below
+  // drops after the final decrement the owner may destroy it — so take a
+  // pool reference now instead of reading the member `pool_` afterwards.
+  TaskPool& pool = pool_;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(pool.group_mu_);
+    if (err && !first_error_) first_error_ = std::move(err);
+    CORTEX_CHECK(pending_ > 0)
+        << "TaskGroup::finish with no pending task (count underflow)";
+    --pending_;
+    last = pending_ == 0;
+  }
+  // Notify after releasing group_mu_: a woken waiter acquires the mutex
+  // immediately instead of waking straight into a block on the lock this
+  // thread still holds (and only the group's last task pays a wake at
+  // all). This is why the cv lives on the pool, not the group: the waiter
+  // may destroy the group the moment it observes pending_ == 0, but the
+  // pool is guaranteed alive for the duration of this worker call.
+  if (last) pool.group_cv_.notify_all();
 }
 
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return pending_ == 0; });
+  std::unique_lock<std::mutex> lock(pool_.group_mu_);
+  pool_.group_cv_.wait(lock, [&] { return pending_ == 0; });
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;

@@ -48,11 +48,18 @@ class TaskPool {
 
   int num_threads() const { return num_threads_; }
 
+  /// Stops the pool: workers drain the queue (so every already-enqueued
+  /// group is still completed and woken), then exit and are joined.
+  /// Subsequent enqueues throw. Idempotent; the destructor calls it.
+  void shutdown();
+
  private:
   friend class TaskGroup;
 
   /// Enqueues a task on behalf of `group` (thread-safe). The group's
-  /// pending count must already account for it.
+  /// pending count must already account for it. Throws cortex::Error if
+  /// the pool is stopping or stopped: accepting the task would strand the
+  /// group forever once the workers exit on the drained queue.
   void enqueue(TaskGroup* group, Task task);
   void worker_main(int worker);
 
@@ -63,12 +70,30 @@ class TaskPool {
   std::condition_variable cv_;
   std::deque<std::pair<TaskGroup*, Task>> queue_;
   bool stop_ = false;
+  bool joined_ = false;
+
+  // Group-completion channel, deliberately pool-owned rather than
+  // per-group: finish() must signal completion *after* releasing the
+  // accounting lock (so the woken waiter never blocks on a lock the
+  // notifier still holds), but the instant the last count hits zero the
+  // waiter may return from wait() and destroy its group — a group-owned
+  // cv could be destroyed mid-notify. The pool strictly outlives both
+  // every group (groups hold a pool reference) and every worker's
+  // finish() call (the destructor joins the workers), so notifying the
+  // pool's cv outside the lock is always safe. Shared across groups;
+  // waiters recheck their own group's count, so cross-group wakes are
+  // spurious-but-harmless.
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
 };
 
 /// One caller's batch of tasks on a (possibly shared) TaskPool. Reusable:
 /// after wait() returns, run() may be called again. Destroying a group
 /// with tasks still outstanding waits for them (exceptions swallowed —
-/// call wait() to observe them).
+/// call wait() to observe them). A group has one owning thread: only the
+/// owner calls run()/wait()/the destructor (workers only call finish()),
+/// and the owner must not destroy the group while its own wait() could
+/// still be pending — which the destructor's wait() enforces.
 class TaskGroup {
  public:
   explicit TaskGroup(TaskPool& pool) : pool_(pool) {}
@@ -77,6 +102,8 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Submits fn to the pool as part of this group. Never runs inline.
+  /// Rethrows the pool's rejection (shutdown) with the group's pending
+  /// count unwound, so a later wait() cannot hang on the rejected task.
   void run(TaskPool::Task fn);
 
   /// Blocks until every task submitted via run() has finished, then
@@ -90,8 +117,8 @@ class TaskGroup {
   void finish(std::exception_ptr err);
 
   TaskPool& pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Guarded by pool_.group_mu_; completion is signalled on
+  // pool_.group_cv_ (see TaskPool for why the channel is pool-owned).
   std::int64_t pending_ = 0;
   std::exception_ptr first_error_;
 };

@@ -1,0 +1,144 @@
+// TaskPool/TaskGroup contract: tasks run on dedicated workers with valid
+// worker indices, wait() rethrows the first group error and leaves both
+// the group and the pool reusable, enqueue-after-shutdown throws instead
+// of stranding the group (the PR 9 hazard: a task accepted after stop_
+// was set would sit in a queue no worker will ever drain, hanging
+// wait() forever), shutdown drains already-queued groups, and concurrent
+// groups on one pool never observe each other. Runs under the `threads`
+// ctest label (TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/task_group.hpp"
+
+namespace cortex::support {
+namespace {
+
+TEST(TaskGroup, TasksRunOnWorkersWithValidIndices) {
+  TaskPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  TaskGroup group(pool);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> worker_of(kTasks);
+  for (auto& w : worker_of) w.store(-2);
+  for (int i = 0; i < kTasks; ++i)
+    group.run([&worker_of, i](int worker) {
+      worker_of[static_cast<std::size_t>(i)].store(worker);
+    });
+  group.wait();
+  for (int i = 0; i < kTasks; ++i) {
+    const int w = worker_of[static_cast<std::size_t>(i)].load();
+    EXPECT_GE(w, 0) << "task " << i;
+    EXPECT_LT(w, 3) << "task " << i;
+  }
+}
+
+TEST(TaskGroup, WaitRethrowsFirstErrorAndGroupStaysUsable) {
+  TaskPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    group.run([&ran, i](int) {
+      ++ran;
+      if (i == 3) throw Error("task 3 exploded");
+    });
+  try {
+    group.wait();
+    FAIL() << "wait() swallowed the task error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+  }
+  EXPECT_EQ(ran.load(), 8);  // one failure never cancels siblings
+
+  // The error was cleared: the same group serves another clean round.
+  std::atomic<int> again{0};
+  for (int i = 0; i < 4; ++i) group.run([&again](int) { ++again; });
+  group.wait();
+  EXPECT_EQ(again.load(), 4);
+}
+
+TEST(TaskGroup, EnqueueAfterShutdownThrowsAndWaitDoesNotHang) {
+  TaskPool pool(2);
+  pool.shutdown();
+  TaskGroup group(pool);
+  std::atomic<bool> ran{false};
+  // The rejection must surface at run(), with the group's pending count
+  // unwound — otherwise this wait() would block forever on a task no
+  // worker will ever execute.
+  EXPECT_THROW(group.run([&ran](int) { ran.store(true); }), Error);
+  group.wait();
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(TaskGroup, ShutdownDrainsAlreadyQueuedTasks) {
+  // More slow tasks than workers: some are still queued when shutdown()
+  // lands. They must all run (workers drain the queue before exiting),
+  // so the group completes rather than hanging.
+  TaskPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 12; ++i)
+    group.run([&ran](int) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++ran;
+    });
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  group.wait();
+  EXPECT_EQ(ran.load(), 12);
+}
+
+TEST(TaskGroup, ConcurrentGroupsOnOnePoolStayIndependent) {
+  TaskPool pool(4);
+  constexpr int kOwners = 6;
+  constexpr int kRounds = 5;
+  constexpr int kTasksPerRound = 16;
+  // char, not bool: vector<bool> packs bits, so concurrent writes to
+  // distinct elements would race.
+  std::vector<char> ok(kOwners, 0);
+  std::vector<std::thread> owners;
+  owners.reserve(kOwners);
+  for (int t = 0; t < kOwners; ++t) {
+    owners.emplace_back([&pool, &ok, t] {
+      TaskGroup group(pool);
+      bool all_ok = true;
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> ran{0};
+        for (int i = 0; i < kTasksPerRound; ++i)
+          group.run([&ran](int) { ++ran; });
+        group.wait();  // waits for exactly this group's tasks
+        all_ok = all_ok && ran.load() == kTasksPerRound;
+      }
+      ok[static_cast<std::size_t>(t)] = all_ok;
+    });
+  }
+  for (std::thread& o : owners) o.join();
+  for (int t = 0; t < kOwners; ++t)
+    EXPECT_TRUE(ok[static_cast<std::size_t>(t)]) << "owner " << t;
+}
+
+TEST(TaskGroup, DestructorWaitsForOutstandingTasks) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 6; ++i)
+      group.run([&ran](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ++ran;
+      });
+    // No wait(): the destructor must block until all six finished —
+    // otherwise the tasks would touch a destroyed atomic.
+  }
+  EXPECT_EQ(ran.load(), 6);
+}
+
+}  // namespace
+}  // namespace cortex::support
