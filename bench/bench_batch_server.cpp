@@ -38,6 +38,7 @@ namespace {
 
 struct LoadResult {
   exec::ServerMetrics metrics;
+  exec::ServerHealth health;
   std::int64_t not_ok = 0;  ///< requests that resolved != kOk
 };
 
@@ -77,6 +78,7 @@ LoadResult drive_poisson(exec::BatchServer& server,
   for (std::thread& t : threads) t.join();
   LoadResult out;
   out.metrics = server.metrics();
+  out.health = server.health();
   for (const std::int64_t n : not_ok) out.not_ok += n;
   return out;
 }
@@ -163,6 +165,7 @@ int main() {
 
   std::int64_t failures = 0;
   double pass_rps = 0.0, best_rps = 0.0;
+  exec::ServerHealth last_health;
   for (int coalesce = 0; coalesce < 2; ++coalesce) {
     for (const std::int64_t wait_us : waits_us) {
       if (!coalesce && wait_us != waits_us.front()) continue;
@@ -178,6 +181,7 @@ int main() {
       exec::BatchServer server(pool, opts);
       const LoadResult r = drive_poisson(server, trees, clients, offered);
       failures += r.not_ok;
+      last_health = r.health;
       const exec::ServerMetrics& m = r.metrics;
       std::printf("%-34s %10.0f %8.1f %8.2fms %8.2fms %8.2fms\n",
                   label.c_str(), m.throughput_rps, m.mean_batch_size,
@@ -194,6 +198,22 @@ int main() {
   bench::print_rule(88);
   std::printf("all requests served ok: %s\n",
               failures == 0 ? "yes" : "NO — BUG");
+  // Health snapshot of the last server: in a fault-free bench run every
+  // degradation counter must read zero, so this line doubles as a cheap
+  // end-to-end check of the graceful-degradation plumbing (and under a
+  // CORTEX_FAULTS sweep in CI it shows what the stack absorbed).
+  std::printf("server health: degraded=%s jit_degraded=%s "
+              "consec_failures=%lld dispatch_retries=%lld "
+              "pool_retries=%lld pool_failed=%lld jit_suppressed=%lld "
+              "quarantined=%lld\n",
+              last_health.degraded ? "YES" : "no",
+              last_health.jit_degraded ? "YES" : "no",
+              static_cast<long long>(last_health.consecutive_failures),
+              static_cast<long long>(last_health.dispatch_retries),
+              static_cast<long long>(last_health.pool_transient_retries),
+              static_cast<long long>(last_health.pool_batches_failed),
+              static_cast<long long>(last_health.jit_backoff_suppressed),
+              static_cast<long long>(last_health.jit_quarantined));
   if (!smoke) {
     const double gain = pass_rps > 0 ? best_rps / pass_rps : 0.0;
     std::printf("acceptance: best coalesced vs pass-through at %.0f req/s "

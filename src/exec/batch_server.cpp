@@ -4,10 +4,21 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/jit.hpp"
 #include "support/clock.hpp"
 #include "support/env.hpp"
+#include "support/fault_injection.hpp"
+#include "support/logging.hpp"
 
 namespace cortex::exec {
+
+namespace {
+
+// Fires at the top of a batch dispatch with a TransientError, so the
+// retry-then-bisect path is exercisable on demand.
+support::FaultSite g_fault_dispatch("server.dispatch");
+
+}  // namespace
 
 const char* to_string(RequestStatus status) {
   switch (status) {
@@ -33,6 +44,8 @@ BatchServer::BatchServer(EnginePool& pool, BatchServerOptions opts)
   if (opts_.max_batch < 1) opts_.max_batch = default_max_batch();
   if (opts_.max_wait_us < 0) opts_.max_wait_us = default_max_wait_us();
   if (opts_.dispatchers < 1) opts_.dispatchers = 1;
+  if (opts_.dispatch_retries < 0)
+    opts_.dispatch_retries = support::env_positive_int("CORTEX_SERVER_RETRIES", 1);
   const models::ModelDef& def = pool_.def();
   model_is_dag_ =
       def.model && def.model->kind == linearizer::StructureKind::kDag;
@@ -200,18 +213,39 @@ void BatchServer::run_isolated(std::vector<Request>& batch, std::size_t first,
                                std::size_t count, std::int64_t coalesced) {
   try {
     runtime::RunResult merged;
-    if (model_is_dag_) {
-      std::vector<const ds::Dag*> dags;
-      dags.reserve(count);
-      for (std::size_t i = 0; i < count; ++i)
-        dags.push_back(batch[first + i].dag);
-      merged = pool_.run(dags);
-    } else {
-      std::vector<const ds::Tree*> trees;
-      trees.reserve(count);
-      for (std::size_t i = 0; i < count; ++i)
-        trees.push_back(batch[first + i].tree);
-      merged = pool_.run(trees);
+    // Transient failures re-run the whole batch, bounded: a
+    // TransientError out of the pool means its own shard retries were
+    // already exhausted, so this is the last stop before bisection.
+    // Deterministic errors skip straight to the catch — re-running a
+    // poisoned batch whole can only repeat the failure.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        if (g_fault_dispatch.fire())
+          throw TransientError("injected server.dispatch failure");
+        if (model_is_dag_) {
+          std::vector<const ds::Dag*> dags;
+          dags.reserve(count);
+          for (std::size_t i = 0; i < count; ++i)
+            dags.push_back(batch[first + i].dag);
+          merged = pool_.run(dags);
+        } else {
+          std::vector<const ds::Tree*> trees;
+          trees.reserve(count);
+          for (std::size_t i = 0; i < count; ++i)
+            trees.push_back(batch[first + i].tree);
+          merged = pool_.run(trees);
+        }
+        break;
+      } catch (const TransientError& e) {
+        if (attempt >= opts_.dispatch_retries) throw;
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          ++m_dispatch_retries_;
+        }
+        support::warn(std::string("dispatcher retrying batch after "
+                                  "transient failure: ") +
+                      e.what());
+      }
     }
     std::vector<std::int64_t> roots_per_request;
     roots_per_request.reserve(count);
@@ -259,10 +293,14 @@ void BatchServer::complete(Request& req, RequestStatus status,
     switch (status) {
       case RequestStatus::kOk:
         ++m_ok_;
+        m_consecutive_failures_ = 0;
         m_e2e_ns_.push_back(res.e2e_ns);
         m_last_complete_ns_ = now;
         break;
-      case RequestStatus::kError: ++m_failed_; break;
+      case RequestStatus::kError:
+        ++m_failed_;
+        ++m_consecutive_failures_;
+        break;
       case RequestStatus::kDeadlineExceeded: ++m_deadline_; break;
       case RequestStatus::kRejected: ++m_rejected_; break;
       case RequestStatus::kShutdown: ++m_shutdown_; break;
@@ -296,6 +334,30 @@ ServerMetrics::Latency latency_stats(std::vector<double> samples) {
 }
 
 }  // namespace
+
+ServerHealth BatchServer::health() const {
+  ServerHealth h;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    h.consecutive_failures = m_consecutive_failures_;
+    h.dispatch_retries = m_dispatch_retries_;
+    h.bisect_reruns = m_bisects_;
+  }
+  const PoolStats ps = pool_.stats();
+  h.pool_transient_retries = ps.transient_retries;
+  h.pool_batches_failed = ps.batches_failed;
+  // The pool's workers share one immutable CompiledArtifacts; worker 0's
+  // copy carries the degradation flag compile time decided.
+  if (pool_.num_workers() > 0) {
+    const ArtifactsPtr& a = pool_.engine(0).artifacts();
+    h.jit_degraded = a != nullptr && a->jit_degraded;
+  }
+  const JitStats js = JitCache::instance().stats();
+  h.jit_backoff_suppressed = js.backoff_suppressed;
+  h.jit_quarantined = js.quarantined;
+  h.degraded = h.jit_degraded || h.consecutive_failures >= 4;
+  return h;
+}
 
 ServerMetrics BatchServer::metrics() const {
   ServerMetrics m;

@@ -38,12 +38,23 @@
 //     the request immediately with kRejected.
 //   - Failure isolation: EnginePool::run fails a whole batch on the first
 //     shard error, so the server (a) optionally pre-validates structures
-//     at admission (validate_on_submit) and (b) re-runs a failing batch
-//     bisection-style: halves recursively until the poisoned requests are
-//     alone and fail individually (kError) while every healthy co-batched
-//     request still completes with results bit-identical to an
-//     uncoalesced run. O(log batch) re-runs in the failure case, zero
-//     overhead on the happy path.
+//     at admission (validate_on_submit), (b) re-runs a batch that failed
+//     with cortex::TransientError (a failure that may succeed on retry —
+//     the pool's own bounded shard retries were already exhausted) up to
+//     dispatch_retries times, and (c) re-runs a deterministically failing
+//     batch bisection-style: halves recursively until the poisoned
+//     requests are alone and fail individually (kError) while every
+//     healthy co-batched request still completes with results
+//     bit-identical to an uncoalesced run. O(log batch) re-runs in the
+//     failure case, zero overhead on the happy path.
+//   - Health: health() snapshots the degradation state — JIT
+//     interpreter-only flag, consecutive request failures, retry /
+//     bisection / quarantine counters — cheap enough for a readiness
+//     probe to poll.
+//
+// Fault-injection site (support/fault_injection.hpp): server.dispatch —
+// throws a TransientError at the top of a batch dispatch, exercising the
+// retry-then-bisect path above on demand.
 //   - Metrics: counters plus p50/p99/p999 of queue and end-to-end
 //     latency, an achieved-batch-size histogram and served throughput
 //     (metrics(), cheap enough to poll).
@@ -123,6 +134,40 @@ struct BatchServerOptions {
   /// Start dispatchers in the constructor. Tests set false to stage
   /// deterministic queue states, then call start().
   bool autostart = true;
+  /// Times a batch that failed with cortex::TransientError is re-run
+  /// whole before falling back to bisection. < 0 uses
+  /// CORTEX_SERVER_RETRIES (default 1). Deterministic batch failures go
+  /// straight to bisection — re-running a poisoned batch whole can only
+  /// repeat the failure.
+  int dispatch_retries = -1;
+};
+
+/// Point-in-time health snapshot (BatchServer::health). What a readiness
+/// probe polls: the degraded flags say whether the server is currently
+/// serving on a fallback path, the counters say how often each
+/// degradation absorbed a fault since construction.
+struct ServerHealth {
+  /// jit_degraded || consecutive_failures >= 4: the server is serving,
+  /// but on a fallback path or failing repeatedly — worth paging over.
+  bool degraded = false;
+  /// The pool's compiled plan asked for a JIT kernel and didn't get one
+  /// (toolchain or artifact failure): ILIR runs serve interpreter-only
+  /// until the backoff-budgeted recompile succeeds. Results stay
+  /// bit-identical (the oracle contract in exec/jit.hpp).
+  bool jit_degraded = false;
+  /// Requests that resolved kError since the last kOk (a kOk resets the
+  /// run; kError extends it). Feeds `degraded` at >= 4.
+  std::int64_t consecutive_failures = 0;
+  std::int64_t dispatch_retries = 0;  ///< whole-batch transient re-runs
+  std::int64_t bisect_reruns = 0;     ///< poisoned-batch isolation re-runs
+  /// Shard re-runs inside this server's pool (PoolStats).
+  std::int64_t pool_transient_retries = 0;
+  std::int64_t pool_batches_failed = 0;  ///< pool errors that propagated
+  /// Process-wide JitCache counters (JitStats): interpreter-only answers
+  /// while a failed kernel's backoff window was open, and on-disk
+  /// artifacts quarantined for failing integrity checks.
+  std::int64_t jit_backoff_suppressed = 0;
+  std::int64_t jit_quarantined = 0;
 };
 
 /// Point-in-time metrics snapshot (all counters since construction).
@@ -183,6 +228,8 @@ class BatchServer {
   void shutdown();
 
   ServerMetrics metrics() const;
+  /// Degradation snapshot (see ServerHealth); as cheap as metrics().
+  ServerHealth health() const;
 
   const BatchServerOptions& options() const { return opts_; }
   EnginePool& pool() { return pool_; }
@@ -241,6 +288,8 @@ class BatchServer {
   std::int64_t m_shutdown_ = 0;
   std::int64_t m_batches_ = 0;
   std::int64_t m_bisects_ = 0;
+  std::int64_t m_dispatch_retries_ = 0;
+  std::int64_t m_consecutive_failures_ = 0;
   std::vector<std::int64_t> m_batch_hist_;
   std::vector<double> m_queue_ns_;
   std::vector<double> m_e2e_ns_;

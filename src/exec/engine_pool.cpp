@@ -4,8 +4,18 @@
 
 #include "runtime/profiler.hpp"
 #include "support/env.hpp"
+#include "support/fault_injection.hpp"
+#include "support/logging.hpp"
 
 namespace cortex::exec {
+
+namespace {
+
+// Fires at the top of each shard execution with a TransientError, so the
+// bounded-retry path below is exercisable on demand.
+support::FaultSite g_fault_pool_worker("pool.worker");
+
+}  // namespace
 
 int EnginePool::default_num_workers() {
   return support::env_positive_int("CORTEX_POOL_WORKERS",
@@ -38,6 +48,8 @@ EnginePool::EnginePool(const models::ModelDef& def,
   if (opts_.workers < 1) opts_.workers = default_num_workers();
   if (opts_.min_shard_size < 1) opts_.min_shard_size = 1;
   if (opts_.threads_per_worker < 1) opts_.threads_per_worker = 1;
+  if (opts_.transient_retries < 0)
+    opts_.transient_retries = support::env_positive_int("CORTEX_POOL_RETRIES", 2);
   engines_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w) {
     // Worker 0's construction compiles (or warm-hits the plan cache);
@@ -47,6 +59,13 @@ EnginePool::EnginePool(const models::ModelDef& def,
     engines_.back()->set_num_threads(opts_.threads_per_worker);
   }
   tasks_ = std::make_unique<support::TaskPool>(opts_.workers);
+}
+
+PoolStats EnginePool::stats() const {
+  PoolStats s;
+  s.transient_retries = transient_retries_.load(std::memory_order_relaxed);
+  s.batches_failed = batches_failed_.load(std::memory_order_relaxed);
+  return s;
 }
 
 const CortexEngine& EnginePool::engine(int w) const {
@@ -70,9 +89,11 @@ runtime::RunResult EnginePool::run_sharded(const std::vector<Item>& batch) {
   // so an engine is only ever touched by its own worker thread — even
   // with several client threads inside run() at once, in which case the
   // FIFO queue interleaves their shards across idle workers.
+  std::atomic<std::int64_t> batch_retries{0};
   support::TaskGroup group(*tasks_);
   for (std::size_t si = 0; si < num_shards; ++si) {
-    group.run([this, &batch, &shards, &results, &records, si](int worker) {
+    group.run([this, &batch, &shards, &results, &records, &batch_retries,
+               si](int worker) {
       const Shard& sh = shards[si];
       const std::vector<Item> sub(
           batch.begin() + static_cast<std::ptrdiff_t>(sh.begin),
@@ -82,7 +103,24 @@ runtime::RunResult EnginePool::run_sharded(const std::vector<Item>& batch) {
       rec.batch_begin = sh.begin;
       rec.batch_size = sh.end - sh.begin;
       const std::int64_t t0 = runtime::now_ns();
-      results[si] = engines_[static_cast<std::size_t>(worker)]->run(sub);
+      // Transient failures (may succeed on retry) re-run the shard on
+      // this same worker, bounded; deterministic errors propagate at
+      // once — retrying a malformed structure can only repeat it.
+      for (int attempt = 0;; ++attempt) {
+        try {
+          if (g_fault_pool_worker.fire())
+            throw TransientError("injected pool.worker failure");
+          results[si] = engines_[static_cast<std::size_t>(worker)]->run(sub);
+          break;
+        } catch (const TransientError& e) {
+          if (attempt >= opts_.transient_retries) throw;
+          batch_retries.fetch_add(1, std::memory_order_relaxed);
+          transient_retries_.fetch_add(1, std::memory_order_relaxed);
+          support::warn(std::string("pool worker retrying shard after "
+                                    "transient failure: ") +
+                        e.what());
+        }
+      }
       rec.run_ns = static_cast<double>(runtime::now_ns() - t0);
       records[si] = rec;
     });
@@ -90,12 +128,19 @@ runtime::RunResult EnginePool::run_sharded(const std::vector<Item>& batch) {
   // Rethrows the first shard's error after every shard of this batch has
   // finished — a failing shard fails the whole batch, and no worker is
   // left running a stale task, so the pool serves the next batch cleanly.
-  group.wait();
+  try {
+    group.wait();
+  } catch (...) {
+    batches_failed_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 
   runtime::RunResult merged;
   for (std::size_t si = 0; si < num_shards; ++si)
     runtime::append_shard(merged, std::move(results[si]), records[si]);
   merged.profiler.pool_workers = num_workers();
+  merged.profiler.pool_transient_retries =
+      batch_retries.load(std::memory_order_relaxed);
   return merged;
 }
 

@@ -24,14 +24,24 @@
 //     per-engine locking. One *structure instance* must still not be
 //     submitted by two threads at once (the linearizer writes per-node
 //     scratch into it).
-//   - Exceptions: a throwing shard (malformed structure, structure-kind
-//     mismatch) fails the whole batch — the first shard error is
-//     rethrown from run() after all shards of the batch finished — and
-//     the pool serves subsequent batches normally. Callers that need
-//     per-request isolation inside a coalesced batch sit a BatchServer
-//     (batch_server.hpp) in front, which pre-validates admissions and
-//     bisects a failing batch so one bad structure cannot fail its
-//     co-batched neighbours.
+//   - Exceptions: shard failures are *classified*. A
+//     cortex::TransientError (resource exhaustion, an injected transient
+//     fault — failures that may succeed on retry) re-runs the shard on
+//     the same worker up to EnginePoolOptions::transient_retries times
+//     before giving up; every other error is deterministic (malformed
+//     structure, structure-kind mismatch — retrying can only repeat it)
+//     and propagates immediately. A shard that exhausts its retries (or
+//     fails deterministically) fails the whole batch — the first shard
+//     error is rethrown from run() after all shards of the batch
+//     finished — and the pool serves subsequent batches normally.
+//     Callers that need per-request isolation inside a coalesced batch
+//     sit a BatchServer (batch_server.hpp) in front, which pre-validates
+//     admissions and bisects a failing batch so one bad structure cannot
+//     fail its co-batched neighbours.
+//
+// Fault-injection site (support/fault_injection.hpp): pool.worker —
+// throws a TransientError at the top of a shard execution, exercising
+// the retry path above on demand.
 //
 // Accounting: the merged profiler sums the shards (aggregate work:
 // launches, flops, bytes, modeled times); RunResult::pooled_latency_ns()
@@ -39,6 +49,7 @@
 // RunResult::shards carries worker / shard-size / per-shard wall+modeled
 // ns for each shard.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -62,6 +73,22 @@ struct EnginePoolOptions {
   /// parallelizes across shards, so nested per-engine pools would only
   /// oversubscribe the host.
   int threads_per_worker = 1;
+  /// Times a shard that failed with cortex::TransientError is re-run
+  /// (same worker, same inputs) before the error propagates. < 0 uses
+  /// CORTEX_POOL_RETRIES (default 2). Deterministic errors never retry.
+  int transient_retries = -1;
+};
+
+/// Cumulative fault accounting for one pool (EnginePool::stats;
+/// thread-safe snapshot).
+struct PoolStats {
+  /// Shard re-runs after a TransientError (each successful recovery
+  /// contributes its retry count; a batch-wide view also lands in the
+  /// merged profiler's pool_transient_retries).
+  std::int64_t transient_retries = 0;
+  /// Batches whose error propagated out of run() — retries exhausted or
+  /// a deterministic failure.
+  std::int64_t batches_failed = 0;
 };
 
 class EnginePool {
@@ -96,6 +123,9 @@ class EnginePool {
   /// Do not run() it directly while the pool is serving.
   const CortexEngine& engine(int w) const;
 
+  /// Fault accounting since construction.
+  PoolStats stats() const;
+
   /// Pool size used when EnginePoolOptions::workers < 1:
   /// CORTEX_POOL_WORKERS when set to a positive integer, else
   /// std::thread::hardware_concurrency() (min 1). Reads the environment
@@ -117,6 +147,8 @@ class EnginePool {
   EnginePoolOptions opts_;
   std::vector<std::unique_ptr<CortexEngine>> engines_;
   std::unique_ptr<support::TaskPool> tasks_;
+  std::atomic<std::int64_t> transient_retries_{0};
+  std::atomic<std::int64_t> batches_failed_{0};
 };
 
 }  // namespace cortex::exec

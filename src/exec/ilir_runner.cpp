@@ -105,9 +105,21 @@ IlirRun run_ilir(const ilir::Program& program,
   // A plan-built kernel bakes arena slot indices, so it is only usable
   // when this run resolved that arena (memplan on).
   bool ran_jit = false;
-  if (opts.jit != nullptr && jit_enabled() &&
-      (!opts.jit->has_arena() || plan != nullptr)) {
-    const JitKernel& kernel = *opts.jit;
+  // Degraded-plan recovery: with no kernel supplied but jit_refresh set,
+  // ask the cache tolerantly. Inside a failed key's backoff window this is
+  // one map lookup and the run interprets; past it, the build is retried
+  // and a recovered toolchain puts the kernel back in play.
+  JitKernelPtr refreshed;  // owns a refresh-acquired kernel for this run
+  const JitKernel* jit = opts.jit;
+  if (jit == nullptr && opts.jit_refresh && jit_enabled()) {
+    JitTryResult r = JitCache::instance().try_get_or_build(
+        program, plan, opts.jit_refresh_plan_opts, opts.profiler);
+    refreshed = r.kernel;
+    jit = refreshed.get();
+  }
+  if (jit != nullptr && jit_enabled() &&
+      (!jit->has_arena() || plan != nullptr)) {
+    const JitKernel& kernel = *jit;
     std::vector<float*> param_table;
     param_table.reserve(kernel.params_order().size());
     for (const std::string& name : kernel.params_order()) {
@@ -148,6 +160,7 @@ IlirRun run_ilir(const ilir::Program& program,
     // bitwise equality of every buffer plus the barrier count.
     IlirRunOptions oracle_opts = opts;
     oracle_opts.jit = nullptr;
+    oracle_opts.jit_refresh = false;  // or the oracle re-acquires the kernel
     oracle_opts.profiler = nullptr;
     const IlirRun oracle = run_ilir(program, lin, params, oracle_opts);
     CORTEX_CHECK(oracle.barriers == run.barriers)

@@ -19,6 +19,7 @@
 #include <map>
 #include <string>
 
+#include "exec/memory_plan.hpp"
 #include "ilir/eval.hpp"
 #include "ilir/ilir.hpp"
 #include "linearizer/linearizer.hpp"
@@ -69,6 +70,20 @@ struct IlirRunOptions {
   /// BOTH paths and requires bit-identical buffers and barrier counts
   /// (the interpreter as differential oracle).
   const JitKernel* jit = nullptr;
+  /// Degraded-plan recovery: when `jit` is null, CORTEX_JIT is on, and
+  /// this is set, the run asks the JitCache for the kernel tolerantly
+  /// (JitCache::try_get_or_build) before falling back to interpretation.
+  /// Acquisition respects the cache's exponential-backoff budget — while
+  /// a failed key's window is open the ask costs one map lookup and the
+  /// run interprets; once the toolchain recovers, the first ask past the
+  /// window rebuilds the kernel and the run dispatches to it. Interpreted
+  /// and JIT'd runs are bit-identical (the oracle contract above), so
+  /// flipping between them mid-stream is invisible in results.
+  bool jit_refresh = false;
+  /// MemoryPlanOptions the plan under `plan` was computed with (live-out
+  /// set); needed by jit_refresh so the forced plan verification inside
+  /// the build re-proves the exact plan.
+  MemoryPlanOptions jit_refresh_plan_opts;
 };
 
 /// Interprets `program` against `lin`, binding parameter buffers from

@@ -27,6 +27,29 @@
 // CORTEX_JIT_CHECK=1 makes run_ilir execute both paths and require
 // bit-identical buffers and barrier counts.
 //
+// Integrity: every published .so carries a sidecar (<lib>.sig) holding a
+// digest of the shared object's bytes. The disk-reuse path recomputes the
+// digest before dlopening; a truncated or corrupted artifact (or a
+// missing sidecar — a crash between publish and sign) is *quarantined* —
+// renamed aside for forensics, never deleted, never loaded — and the
+// kernel is recompiled. A wrong answer can never come off disk: the
+// source must match byte-for-byte AND the object must match its digest.
+//
+// Degradation: get_or_build throws on failure (strict, for callers that
+// require the kernel); try_get_or_build absorbs it — a failed build is
+// recorded per key with an exponential-backoff recompile budget
+// (JitRetryPolicy), the caller gets a null kernel and serves through the
+// interpreter (bit-identical by the oracle contract above), and later
+// tolerant calls retry the build only when the backoff window has
+// elapsed, up to max_attempts consecutive failures. A success clears the
+// key's record. Stats split the outcomes: failures / retries /
+// backoff_suppressed / quarantined.
+//
+// Fault-injection sites (support/fault_injection.hpp): jit.cc (toolchain
+// exit), jit.dlopen, jit.disk.write, jit.disk.rename, cache.read
+// (corrupt disk-reuse read). Each forces the exact production failure
+// branch, so the quarantine/backoff paths above are testable on demand.
+//
 // Knobs (read per call, so tests can flip them):
 //   CORTEX_JIT            non-empty and != "0": run_ilir dispatches to
 //                         the kernel and exec::compile_artifacts builds
@@ -57,8 +80,41 @@ struct JitStats {
   std::int64_t compiles = 0;     ///< toolchain invocations (cold builds)
   std::int64_t disk_hits = 0;    ///< persisted .so reused without compiling
   std::int64_t memory_hits = 0;  ///< in-process registry hits
-  std::int64_t failures = 0;     ///< compile/load failures (thrown)
-  double compile_ns = 0.0;       ///< wall time inside the toolchain
+  std::int64_t failures = 0;     ///< compile/load failures (recorded)
+  /// Build attempts for a key that already had a recorded failure (the
+  /// backoff window had elapsed and the budget allowed another try).
+  std::int64_t retries = 0;
+  /// Tolerant acquisitions answered "interpreter-only" without touching
+  /// the toolchain because the key's backoff window was still open (or
+  /// its retry budget exhausted).
+  std::int64_t backoff_suppressed = 0;
+  /// On-disk artifacts renamed aside: integrity-digest mismatch, missing
+  /// sidecar, stale source next to a published object, or a dlopen
+  /// failure on reuse. Each quarantine is followed by a recompile.
+  std::int64_t quarantined = 0;
+  double compile_ns = 0.0;  ///< wall time inside the toolchain
+};
+
+/// Recompile budget for degraded (interpreter-only) plans: after a build
+/// failure, tolerant acquisition waits base_backoff_ms, doubling per
+/// consecutive failure, and gives up for good (until clear_backoff or a
+/// success) after max_attempts failures in a row.
+struct JitRetryPolicy {
+  std::int64_t base_backoff_ms = 100;
+  int max_attempts = 8;
+};
+
+class JitKernel;
+
+/// What a tolerant acquisition resolved to. A null kernel means the
+/// caller serves interpreter-only this time.
+struct JitTryResult {
+  std::shared_ptr<const JitKernel> kernel;
+  /// No build was attempted: the key's backoff window was still open or
+  /// its retry budget exhausted. `error` carries the recorded failure.
+  bool suppressed = false;
+  /// Failure detail when kernel is null.
+  std::string error;
 };
 
 /// One dlopen'd kernel; immutable once built, closed on destruction.
@@ -121,18 +177,50 @@ class JitCache {
                             const MemoryPlanOptions& plan_opts = {},
                             runtime::Profiler* profiler = nullptr);
 
+  /// The tolerant sibling: same lookup and build as get_or_build, but a
+  /// failure is absorbed instead of thrown — recorded against the key
+  /// with the exponential-backoff budget (retry_policy), and answered
+  /// with a null kernel so the caller degrades to the interpreter. While
+  /// a key's backoff window is open (or its budget exhausted) no build is
+  /// attempted at all (suppressed = true). A successful build clears the
+  /// key's failure record.
+  JitTryResult try_get_or_build(const ilir::Program& program,
+                                const MemoryPlan* plan,
+                                const MemoryPlanOptions& plan_opts = {},
+                                runtime::Profiler* profiler = nullptr);
+
   JitStats stats() const;
   void reset_stats();
   /// Drops the in-process registry (disk artifacts stay): the next
   /// get_or_build must take the disk path, which is how tests prove a
   /// "second process" reuses persisted artifacts with zero compiles.
   void clear_memory();
+  /// Drops every recorded failure, so the next tolerant acquisition
+  /// builds immediately (tests; operator "the toolchain is fixed now").
+  void clear_backoff();
+  JitRetryPolicy retry_policy() const;
+  void set_retry_policy(JitRetryPolicy policy);
   /// Artifact directory currently in effect (created lazily on build).
   static std::string cache_dir();
 
  private:
   JitCache() = default;
 
+  /// Consecutive-failure record keyed like the kernel registry.
+  struct FailState {
+    int attempts = 0;
+    std::int64_t not_before_ns = 0;  ///< monotonic; next attempt allowed
+    std::string last_error;
+  };
+
+  JitKernelPtr lookup_memory(const support::Fingerprint& key);
+  /// Verify + build + insert; throws on failure after recording it in
+  /// failed_ (so tolerant and strict callers share one backoff ledger).
+  JitKernelPtr build_and_insert(const support::Fingerprint& key,
+                                const ilir::Program& program,
+                                const MemoryPlan* plan,
+                                const MemoryPlanOptions& plan_opts,
+                                runtime::Profiler* profiler);
   JitKernelPtr build_locked_out(const support::Fingerprint& key,
                                 const ilir::Program& program,
                                 const MemoryPlan* plan);
@@ -141,6 +229,9 @@ class JitCache {
   std::unordered_map<support::Fingerprint, JitKernelPtr,
                      support::FingerprintHash>
       map_;
+  std::unordered_map<support::Fingerprint, FailState, support::FingerprintHash>
+      failed_;
+  JitRetryPolicy retry_policy_;
   JitStats stats_;
 };
 

@@ -9,6 +9,7 @@
 #include "ilir/passes.hpp"
 #include "ilir/verify.hpp"
 #include "runtime/profiler.hpp"
+#include "support/logging.hpp"
 
 namespace cortex::exec {
 
@@ -63,12 +64,23 @@ CompiledArtifacts compile_artifacts(const models::ModelDef& def,
     a.lowered = std::move(lm);
     // Under CORTEX_JIT, build (or dlopen the persisted) kernel eagerly so
     // the plan cache amortizes the toolchain invocation exactly like the
-    // rest of compilation. get_or_build forces verification on the
-    // program + plan whatever CORTEX_ILIR_VERIFY says, and throws on
-    // toolchain failure — nothing is cached on a throw.
-    if (jit_enabled())
-      a.jit = JitCache::instance().get_or_build(
+    // rest of compilation. Acquisition is *tolerant*: a toolchain or
+    // dlopen failure degrades the plan to interpreter-only (bit-identical
+    // results, just slower) instead of failing compilation — the failure
+    // is recorded in the JitCache's backoff ledger so later jit_refresh
+    // attempts retry on the exponential-backoff budget.
+    if (jit_enabled()) {
+      JitTryResult r = JitCache::instance().try_get_or_build(
           *a.optimized, a.plan.ilir_memory.get(), mp_opts);
+      a.jit = r.kernel;
+      if (a.jit == nullptr) {
+        a.jit_degraded = true;
+        a.jit_error = r.error;
+        support::warn("JIT degraded to interpreter-only: " +
+                      (r.error.empty() ? std::string("build suppressed")
+                                       : r.error));
+      }
+    }
   } else {
     // Cell-only models (the sequential Fig. 9 cells) still respect the
     // Appendix-D register-pressure constraint.

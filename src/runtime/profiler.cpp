@@ -35,6 +35,7 @@ void Profiler::accumulate(const Profiler& o) {
   // pool_workers is likewise a configuration (max keeps it stable when
   // averaging pooled runs, and a merge of unpooled shards leaves it 0).
   pool_workers = std::max(pool_workers, o.pool_workers);
+  pool_transient_retries += o.pool_transient_retries;
   // Peak footprint is a high-water mark across merged runs; reuse counts
   // accumulate like the other work counters.
   ilir_arena_bytes = std::max(ilir_arena_bytes, o.ilir_arena_bytes);
@@ -63,6 +64,8 @@ void Profiler::scale(double f) {
   numerics_host_ns *= f;
   batched_gemm_calls = static_cast<std::int64_t>(batched_gemm_calls * f);
   batched_panels = static_cast<std::int64_t>(batched_panels * f);
+  pool_transient_retries =
+      static_cast<std::int64_t>(pool_transient_retries * f);
   // max_panel_rows is a high-water mark; averaging leaves it unchanged.
   ilir_buffers_reused = static_cast<std::int64_t>(ilir_buffers_reused * f);
   // ilir_arena_bytes is a peak like max_panel_rows; leave it unscaled.
@@ -85,6 +88,8 @@ std::string Profiler::str() const {
     os << " panel_gemms=" << batched_gemm_calls
        << " max_panel_rows=" << max_panel_rows;
   if (pool_workers > 0) os << " pool_workers=" << pool_workers;
+  if (pool_transient_retries > 0)
+    os << " pool_retries=" << pool_transient_retries;
   if (ilir_arena_bytes > 0)
     os << " ilir_arena=" << ilir_arena_bytes
        << "B reused=" << ilir_buffers_reused;

@@ -61,6 +61,11 @@ struct Profiler {
   /// RunResult::shards; counters here are sums over all shards, i.e. the
   /// aggregate work of the whole mini-batch.
   std::int64_t pool_workers = 0;
+  /// Shard re-runs after a cortex::TransientError inside this pooled run
+  /// (bounded by EnginePoolOptions::transient_retries per shard). Each
+  /// retry recovered a failure that would otherwise have failed the
+  /// batch.
+  std::int64_t pool_transient_retries = 0;
 
   // -- ILIR arena (static memory planner) ------------------------------------
   /// Peak arena bytes one run_ilir allocation covered all program buffers

@@ -1,0 +1,254 @@
+#include "support/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace cortex::support {
+
+namespace detail {
+
+enum class FaultMode { kDisarmed, kNth, kAlways, kProbability };
+
+struct SiteState {
+  std::mutex mu;
+  bool registered = false;  ///< declared by a FaultSite (not just a spec)
+  FaultMode mode = FaultMode::kDisarmed;
+  std::int64_t nth = 0;    ///< kNth: fire on this hit number (1-based)
+  double probability = 0;  ///< kProbability
+  Rng rng{0};
+  FaultInjector::SiteStats stats;
+
+  bool evaluate() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (mode == FaultMode::kDisarmed) return false;
+    ++stats.hits;
+    bool fired = false;
+    switch (mode) {
+      case FaultMode::kDisarmed: break;
+      case FaultMode::kNth: fired = stats.hits == nth; break;
+      case FaultMode::kAlways: fired = true; break;
+      case FaultMode::kProbability:
+        fired = static_cast<double>(rng.next_float()) < probability;
+        break;
+    }
+    if (fired)
+      ++stats.fired;
+    else
+      ++stats.suppressed;
+    return fired;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::FaultMode;
+using detail::SiteState;
+
+/// Registry internals, shared by the injector and every site handle. A
+/// plain struct behind a function-local static so initialization order is
+/// safe whatever TU's FaultSite constructor runs first; never destroyed,
+/// like the plan and JIT caches, because sites on other threads may
+/// outlive static teardown.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState*> sites;
+  /// Fast idle path: number of armed sites. fire() is a single relaxed
+  /// load of this when nothing is armed.
+  std::atomic<std::int64_t> armed{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+SiteState* find_or_create_locked(Registry& r, const std::string& name) {
+  auto it = r.sites.find(name);
+  if (it != r.sites.end()) return it->second;
+  auto* state = new SiteState();  // never freed: sites live process-long
+  r.sites.emplace(name, state);
+  return state;
+}
+
+std::uint64_t seed_from_name(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ParsedArm {
+  FaultMode mode = FaultMode::kDisarmed;
+  std::int64_t nth = 0;
+  double probability = 0;
+  std::uint64_t seed = 0;
+  bool seeded = false;
+};
+
+ParsedArm parse_arm(const std::string& site, const std::string& arm) {
+  ParsedArm out;
+  CORTEX_CHECK(!arm.empty()) << "CORTEX_FAULTS: empty arm for site '" << site
+                             << "'";
+  if (arm == "*") {
+    out.mode = FaultMode::kAlways;
+    return out;
+  }
+  if (arm.rfind("p:", 0) == 0) {
+    const std::string rest = arm.substr(2);
+    const std::size_t colon = rest.find(':');
+    const std::string prob_str = rest.substr(0, colon);
+    char* end = nullptr;
+    const double p = std::strtod(prob_str.c_str(), &end);
+    CORTEX_CHECK(end != prob_str.c_str() && *end == '\0' && p > 0 && p <= 1)
+        << "CORTEX_FAULTS: bad probability '" << prob_str << "' for site '"
+        << site << "' (want p in (0,1])";
+    out.mode = FaultMode::kProbability;
+    out.probability = p;
+    if (colon != std::string::npos) {
+      const std::string seed_str = rest.substr(colon + 1);
+      char* send = nullptr;
+      const unsigned long long s = std::strtoull(seed_str.c_str(), &send, 10);
+      CORTEX_CHECK(send != seed_str.c_str() && *send == '\0')
+          << "CORTEX_FAULTS: bad seed '" << seed_str << "' for site '" << site
+          << "'";
+      out.seed = s;
+      out.seeded = true;
+    }
+    return out;
+  }
+  char* end = nullptr;
+  const long long n = std::strtoll(arm.c_str(), &end, 10);
+  CORTEX_CHECK(end != arm.c_str() && *end == '\0' && n > 0)
+      << "CORTEX_FAULTS: bad arm '" << arm << "' for site '" << site
+      << "' (want a positive call number, '*', or 'p:P[:SEED]')";
+  out.mode = FaultMode::kNth;
+  out.nth = n;
+  return out;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* spec = std::getenv("CORTEX_FAULTS");
+      spec != nullptr && *spec != '\0')
+    configure(spec);
+}
+
+detail::SiteState* FaultInjector::site_for(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState* state = find_or_create_locked(r, name);
+  state->registered = true;
+  return state;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  // Parse the whole spec before touching any state, so a malformed entry
+  // can never leave the injector half-armed.
+  std::map<std::string, ParsedArm> arms;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t sep = spec.find_first_of(";,", pos);
+    const std::string entry =
+        spec.substr(pos, sep == std::string::npos ? sep : sep - pos);
+    pos = sep == std::string::npos ? spec.size() : sep + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    CORTEX_CHECK(eq != std::string::npos && eq > 0)
+        << "CORTEX_FAULTS: entry '" << entry << "' is not site=arm";
+    const std::string site = entry.substr(0, eq);
+    arms[site] = parse_arm(site, entry.substr(eq + 1));
+  }
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // Materialize spec-only sites so arming precedes the declaring TU's
+  // first evaluation (the usual case for env-armed process startup).
+  for (const auto& [site, arm] : arms) find_or_create_locked(r, site);
+  std::int64_t armed = 0;
+  for (auto& [name, state] : r.sites) {
+    std::lock_guard<std::mutex> site_lock(state->mu);
+    state->stats = SiteStats{};
+    const auto it = arms.find(name);
+    if (it == arms.end()) {
+      state->mode = FaultMode::kDisarmed;
+      continue;
+    }
+    const ParsedArm& arm = it->second;
+    state->mode = arm.mode;
+    state->nth = arm.nth;
+    state->probability = arm.probability;
+    state->rng = Rng(arm.seeded ? arm.seed : seed_from_name(name));
+    ++armed;
+  }
+  r.armed.store(armed, std::memory_order_release);
+}
+
+bool FaultInjector::enabled() const {
+  return registry().armed.load(std::memory_order_relaxed) > 0;
+}
+
+FaultInjector::SiteStats FaultInjector::stats(const std::string& site) const {
+  Registry& r = registry();
+  SiteState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end()) return SiteStats{};
+    state = it->second;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->stats;
+}
+
+std::int64_t FaultInjector::total_fired() const {
+  Registry& r = registry();
+  std::vector<SiteState*> states;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    states.reserve(r.sites.size());
+    for (const auto& [name, state] : r.sites) states.push_back(state);
+  }
+  std::int64_t fired = 0;
+  for (SiteState* state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    fired += state->stats.fired;
+  }
+  return fired;
+}
+
+std::vector<std::string> FaultInjector::registered_sites() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.sites.size());
+  for (const auto& [name, state] : r.sites)
+    if (state->registered) names.push_back(name);  // map order = sorted
+  return names;
+}
+
+void FaultInjector::reset() { configure(""); }
+
+FaultSite::FaultSite(const char* name)
+    : name_(name), state_(FaultInjector::instance().site_for(name)) {}
+
+bool FaultSite::fire() {
+  if (registry().armed.load(std::memory_order_relaxed) == 0) return false;
+  return state_->evaluate();
+}
+
+}  // namespace cortex::support

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic fault injection for the compile/serve stack.
+//
+// Production-shaped failures (a cc exit, a dlopen error, a truncated
+// artifact, a worker exception) are rare by construction, so the graceful-
+// degradation paths that absorb them would otherwise ship untested. This
+// file makes every such failure reproducible on demand: the code that can
+// fail declares a named *injection site* at its throw point, and a test
+// (or an operator, via CORTEX_FAULTS) arms sites to fire deterministically
+// — on the Nth evaluation, on every evaluation, or with a seeded
+// probability. Per-site fired/suppressed counters let a test prove the
+// site actually triggered (a sweep that never reaches its site proves
+// nothing).
+//
+// Declaring a site (namespace scope in the .cpp that hosts the failure,
+// so every site is registered — and enumerable — from load time on):
+//
+//   static support::FaultSite g_fault_cc("jit.cc");
+//   ...
+//   if (g_fault_cc.fire()) rc = 1;  // simulate the toolchain failing
+//
+// Arming sites — CORTEX_FAULTS (read once, at first FaultInjector use) or
+// FaultInjector::configure(spec) at runtime. Spec grammar, entries
+// separated by ';' or ',':
+//
+//   site=K          fire exactly once, on the Kth evaluation (1-based)
+//   site=*          fire on every evaluation
+//   site=p:P        fire each evaluation with probability P in (0,1],
+//   site=p:P:SEED   drawn from a per-site splitmix64 stream (default
+//                   seed hashes the site name, so runs are reproducible)
+//
+// e.g. CORTEX_FAULTS="jit.cc=1;pool.worker=p:0.25:42"
+//
+// Cost when idle (nothing armed): one relaxed atomic load per
+// evaluation — no lock, no counter, no branch beyond the load. Armed
+// sites take a per-site mutex; injection experiments are not benchmarks.
+//
+// What a fired site *does* is the site's own business: most throw
+// (cortex::TransientError for failures the stack should retry,
+// cortex::Error for deterministic ones) or force the native error branch
+// (a nonzero exit code, a failed read), so the exact production handling
+// path executes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cortex::support {
+
+namespace detail {
+struct SiteState;
+}
+
+class FaultInjector {
+ public:
+  /// Counter snapshot for one site. `hits` counts evaluations while the
+  /// site was armed; every hit is classified fired or suppressed, so
+  /// hits == fired + suppressed always holds.
+  struct SiteStats {
+    std::int64_t hits = 0;
+    std::int64_t fired = 0;
+    std::int64_t suppressed = 0;
+  };
+
+  /// The process-wide injector every FaultSite registers with. First use
+  /// arms sites from CORTEX_FAULTS (when set).
+  static FaultInjector& instance();
+
+  /// Replaces the armed configuration with `spec` (grammar above) and
+  /// zeroes every site's counters — each configure starts a fresh
+  /// experiment. An empty spec disarms everything. Sites named in the
+  /// spec need not be registered yet (they arm when the declaring code
+  /// loads). Throws cortex::Error on a malformed spec.
+  void configure(const std::string& spec);
+
+  /// Any site armed right now.
+  bool enabled() const;
+
+  /// Counters for `site` (zeroes for an unknown site).
+  SiteStats stats(const std::string& site) const;
+  /// Sum of fired over all sites.
+  std::int64_t total_fired() const;
+  /// Every site declared by a FaultSite, sorted — the enumeration the
+  /// fault-sweep battery walks to force each one to fire.
+  std::vector<std::string> registered_sites() const;
+
+  /// Disarms everything and zeroes all counters.
+  void reset();
+
+ private:
+  friend class FaultSite;
+  FaultInjector();
+  detail::SiteState* site_for(const char* name);
+};
+
+/// One named injection site (see file comment for the declaration idiom).
+/// Copyable handle to injector-owned state; the state is never freed.
+class FaultSite {
+ public:
+  explicit FaultSite(const char* name);
+
+  /// True when the armed configuration says this evaluation fails.
+  bool fire();
+
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  detail::SiteState* state_;
+};
+
+}  // namespace cortex::support

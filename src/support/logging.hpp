@@ -15,6 +15,18 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that may succeed on retry (resource exhaustion, a racing
+/// process, an injected transient fault) — as opposed to a deterministic
+/// Error (malformed input, violated invariant), which retrying can only
+/// repeat. The serving stack classifies on this split: EnginePool retries
+/// transient shard failures a bounded number of times and BatchServer
+/// retries transient dispatch failures before falling back to bisection,
+/// while deterministic errors propagate immediately.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] void fail(const char* file, int line, const std::string& msg);
 
 namespace detail {

@@ -1,0 +1,425 @@
+// Fault-sweep battery: every production injection site is forced to fire
+// during a mini-zoo x BatchServer differential run, and the stack must
+// absorb it — no crash, no hang, no broken promise, and every request
+// that is supposed to succeed returns root states bit-identical to a
+// fault-free run. JIT-site faults degrade plans to interpreter-only
+// (invisible in serving results: engine numerics never depended on the
+// kernel); transient pool/dispatch faults are retried; a persistent
+// transient fault fails requests cleanly (kError) and the server keeps
+// serving after the fault clears.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "ds/generators.hpp"
+#include "exec/artifacts.hpp"
+#include "exec/batch_server.hpp"
+#include "exec/ilir_runner.hpp"
+#include "exec/jit.hpp"
+#include "exec/plan_cache.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/profiler.hpp"
+#include "support/fault_injection.hpp"
+
+namespace cortex::exec {
+namespace {
+
+using support::FaultInjector;
+
+runtime::DeviceSpec gpu() { return runtime::DeviceSpec::v100_gpu(); }
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* v = std::getenv(name);
+    had_ = v != nullptr;
+    if (had_) saved_ = v;
+  }
+  ~EnvGuard() {
+    if (had_)
+      setenv(name_.c_str(), saved_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+  void set(const std::string& v) { setenv(name_.c_str(), v.c_str(), 1); }
+  void unset() { unsetenv(name_.c_str()); }
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// A fresh, private artifact directory: the sweep recompiles per site, so
+/// stale artifacts from a previous iteration must never satisfy a build.
+std::string fresh_cache_dir() {
+  char tmpl[] = "/tmp/cortex-fault-sweep-XXXXXX";
+  const char* d = mkdtemp(tmpl);
+  EXPECT_NE(d, nullptr);
+  return d != nullptr ? d : "/tmp/cortex-fault-sweep-fallback";
+}
+
+bool is_dag(const models::ModelDef& def) {
+  return def.model && def.model->kind == linearizer::StructureKind::kDag;
+}
+
+struct Batch {
+  std::vector<std::unique_ptr<ds::Tree>> trees;
+  std::vector<std::unique_ptr<ds::Dag>> dags;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(trees.size() + dags.size());
+  }
+};
+
+Batch make_batch(const models::ModelDef& def, std::int64_t n,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  if (is_dag(def)) {
+    for (std::int64_t i = 0; i < n; ++i)
+      b.dags.push_back(ds::make_grid_dag(2 + rng.next_below(3),
+                                         2 + rng.next_below(3), rng));
+  } else {
+    for (std::int64_t i = 0; i < n; ++i)
+      b.trees.push_back(ds::make_random_parse_tree(1 + rng.next_below(8), rng));
+  }
+  return b;
+}
+
+std::int64_t sink_count(const ds::Dag& dag) {
+  std::int64_t sinks = 0;
+  for (std::int64_t v = 0; v < dag.num_nodes(); ++v)
+    if (dag.succs(v).empty()) ++sinks;
+  return sinks;
+}
+
+/// Fault-free per-request reference slices from a direct pool run.
+std::vector<std::vector<std::vector<float>>> reference_slices(
+    EnginePool& pool, const models::ModelDef& def, const Batch& b) {
+  runtime::RunResult ref = is_dag(def) ? pool.run(baselines::raw(b.dags))
+                                       : pool.run(baselines::raw(b.trees));
+  std::vector<std::int64_t> counts;
+  if (is_dag(def))
+    for (const auto& d : b.dags) counts.push_back(sink_count(*d));
+  else
+    counts.assign(b.trees.size(), 1);
+  return runtime::split_by_request(std::move(ref), counts);
+}
+
+/// Submits the whole batch and joins every future with a hang guard: a
+/// promise that never resolves fails the test here instead of wedging
+/// the binary until the ctest timeout.
+std::vector<ServedResult> serve_batch(BatchServer& server, const Batch& b) {
+  std::vector<std::future<ServedResult>> futs;
+  for (const auto& t : b.trees) futs.push_back(server.submit(t.get()));
+  for (const auto& d : b.dags) futs.push_back(server.submit(d.get()));
+  std::vector<ServedResult> out;
+  for (auto& f : futs) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "broken/stuck promise";
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+std::vector<models::ModelDef> mini_zoo() {
+  std::vector<models::ModelDef> defs;
+  defs.push_back(models::make_treernn_fig1(16));
+  defs.push_back(models::make_treelstm_embed(16));
+  defs.push_back(models::make_dagrnn(16));
+  return defs;
+}
+
+constexpr std::int64_t kRequests = 6;
+
+BatchServerOptions server_opts() {
+  BatchServerOptions o;
+  o.max_batch = 4;
+  o.max_wait_us = 0;  // greedy: no added latency, deterministic-ish batches
+  return o;
+}
+
+/// Resets every process-wide cache the sweep depends on, so each site
+/// iteration compiles from scratch and the armed site is actually on the
+/// executed path (warm hits would silently skip jit.cc / jit.disk.*).
+void reset_compile_state() {
+  PlanCache::instance().clear();
+  JitCache::instance().clear_memory();
+  JitCache::instance().clear_backoff();
+}
+
+/// One sweep iteration: fault-free reference (JIT off so no disk artifact
+/// can satisfy the faulted compile), then the armed serving run.
+void sweep_site_over_zoo(
+    const std::string& arm_spec, bool expect_all_ok,
+    const std::function<void(const models::ModelDef&, BatchServer&)>&
+        extra_checks = {}) {
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  dir_env.set(fresh_cache_dir());
+  Rng prng(29);
+  for (const models::ModelDef& def : mini_zoo()) {
+    SCOPED_TRACE(arm_spec + " / " + def.name);
+    const models::ModelParams params = models::init_params(def, prng);
+    const Batch batch = make_batch(def, kRequests, 97);
+
+    // Fault-free reference, JIT off: engine numerics are identical with
+    // and without a kernel, and no artifact lands on disk that could let
+    // the faulted build skip its compile.
+    jit_env.set("0");
+    reset_compile_state();
+    std::vector<std::vector<std::vector<float>>> ref;
+    {
+      EnginePool ref_pool(def, params, ra::Schedule{}, gpu(),
+                          EnginePoolOptions{2, 1, 1});
+      ref = reference_slices(ref_pool, def, batch);
+    }
+
+    // Armed run: compile fresh with JIT on so the jit.* sites sit on the
+    // executed path, then serve the same batch through a BatchServer.
+    jit_env.set("1");
+    reset_compile_state();
+    FaultInjector::instance().configure(arm_spec);
+    std::vector<ServedResult> results;
+    {
+      EnginePool pool(def, params, ra::Schedule{}, gpu(),
+                      EnginePoolOptions{2, 1, 1});
+      BatchServer server(pool, server_opts());
+      results = serve_batch(server, batch);
+      if (extra_checks) extra_checks(def, server);
+
+      // The armed site must actually have fired — a sweep that never
+      // reaches its site proves nothing.
+      const std::string site = arm_spec.substr(0, arm_spec.find('='));
+      EXPECT_GE(FaultInjector::instance().stats(site).fired, 1)
+          << site << " never fired";
+
+      // Whatever the fault did, the server must still serve cleanly
+      // after it clears.
+      FaultInjector::instance().reset();
+      const Batch after = make_batch(def, 2, 131);
+      for (const ServedResult& r : serve_batch(server, after))
+        EXPECT_EQ(r.status, RequestStatus::kOk) << "post-fault serving";
+    }
+    FaultInjector::instance().reset();
+
+    ASSERT_EQ(static_cast<std::int64_t>(results.size()), batch.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (expect_all_ok) {
+        ASSERT_EQ(results[i].status, RequestStatus::kOk)
+            << "request " << i << ": " << results[i].error;
+      }
+      // Bit-identity for every request that succeeded — a fault must
+      // never produce a *wrong* answer, only a clean failure.
+      if (results[i].status == RequestStatus::kOk) {
+        EXPECT_EQ(results[i].root_states, ref[i]) << "request " << i;
+      }
+    }
+  }
+}
+
+// -- JIT compile/artifact faults: degrade to interpreter-only, serve on --
+
+TEST(FaultSweep, ToolchainFailureDegradesAndServesBitIdentical) {
+  sweep_site_over_zoo("jit.cc=*", /*expect_all_ok=*/true,
+                      [](const models::ModelDef&, BatchServer& server) {
+                        const ServerHealth h = server.health();
+                        EXPECT_TRUE(h.jit_degraded);
+                        EXPECT_TRUE(h.degraded);
+                      });
+}
+
+TEST(FaultSweep, DlopenFailureDegradesAndServesBitIdentical) {
+  sweep_site_over_zoo("jit.dlopen=*", /*expect_all_ok=*/true,
+                      [](const models::ModelDef&, BatchServer& server) {
+                        EXPECT_TRUE(server.health().jit_degraded);
+                      });
+}
+
+TEST(FaultSweep, DiskWriteFailureDegradesAndServesBitIdentical) {
+  sweep_site_over_zoo("jit.disk.write=*", /*expect_all_ok=*/true);
+}
+
+TEST(FaultSweep, DiskRenameFailureDegradesAndServesBitIdentical) {
+  sweep_site_over_zoo("jit.disk.rename=*", /*expect_all_ok=*/true);
+}
+
+TEST(FaultSweep, CorruptArtifactReadQuarantinesRecompilesAndServes) {
+  // cache.read only sits on the disk-reuse path, so an artifact must
+  // exist first: prebuild with faults off, drop the in-memory registry,
+  // then arm. The corrupt read fails the integrity check, the artifact is
+  // quarantined, and the recompile produces a working kernel — serving
+  // never degrades at all.
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  dir_env.set(fresh_cache_dir());
+  jit_env.set("1");
+  Rng prng(31);
+  for (const models::ModelDef& def : mini_zoo()) {
+    SCOPED_TRACE(def.name);
+    const models::ModelParams params = models::init_params(def, prng);
+    const Batch batch = make_batch(def, kRequests, 97);
+
+    reset_compile_state();
+    std::vector<std::vector<std::vector<float>>> ref;
+    {
+      // Prebuild: publishes cx_<digest>.{c,so,so.sig} and doubles as the
+      // fault-free reference.
+      EnginePool pool(def, params, ra::Schedule{}, gpu(),
+                      EnginePoolOptions{2, 1, 1});
+      ref = reference_slices(pool, def, batch);
+    }
+
+    reset_compile_state();  // force the disk path on the next build
+    const JitStats before = JitCache::instance().stats();
+    FaultInjector::instance().configure("cache.read=*");
+    std::vector<ServedResult> results;
+    {
+      EnginePool pool(def, params, ra::Schedule{}, gpu(),
+                      EnginePoolOptions{2, 1, 1});
+      BatchServer server(pool, server_opts());
+      results = serve_batch(server, batch);
+      EXPECT_FALSE(server.health().jit_degraded);
+      EXPECT_GE(server.health().jit_quarantined, before.quarantined + 1);
+    }
+    FaultInjector::instance().reset();
+    EXPECT_GE(FaultInjector::instance().stats("cache.read").hits, 0);
+    const JitStats after = JitCache::instance().stats();
+    EXPECT_GE(after.quarantined, before.quarantined + 1);
+
+    ASSERT_EQ(static_cast<std::int64_t>(results.size()), batch.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status, RequestStatus::kOk) << results[i].error;
+      EXPECT_EQ(results[i].root_states, ref[i]) << "request " << i;
+    }
+  }
+}
+
+// -- transient serve-path faults: retried when bounded, clean when not --
+
+TEST(FaultSweep, SingleWorkerFaultIsRetriedInvisibly) {
+  // pool.worker=1 fires once; the pool's bounded retry absorbs it and
+  // every request still succeeds bit-identically.
+  sweep_site_over_zoo("pool.worker=1", /*expect_all_ok=*/true,
+                      [](const models::ModelDef&, BatchServer& server) {
+                        EXPECT_GE(server.health().pool_transient_retries, 1);
+                        EXPECT_FALSE(server.health().degraded);
+                      });
+}
+
+TEST(FaultSweep, SingleDispatchFaultIsRetriedInvisibly) {
+  sweep_site_over_zoo("server.dispatch=1", /*expect_all_ok=*/true,
+                      [](const models::ModelDef&, BatchServer& server) {
+                        EXPECT_GE(server.health().dispatch_retries, 1);
+                      });
+}
+
+TEST(FaultSweep, PersistentWorkerFaultFailsCleanlyAndRecovers) {
+  // pool.worker=* exhausts every retry: requests resolve kError (never a
+  // wrong answer, never a stuck promise), and serving recovers as soon
+  // as the fault clears (checked inside the sweep helper).
+  sweep_site_over_zoo(
+      "pool.worker=*", /*expect_all_ok=*/false,
+      [](const models::ModelDef&, BatchServer& server) {
+        const ServerHealth h = server.health();
+        EXPECT_GE(h.pool_batches_failed, 1);
+        EXPECT_GE(h.consecutive_failures, 4);
+        EXPECT_TRUE(h.degraded);
+      });
+}
+
+TEST(FaultSweep, PersistentDispatchFaultFailsCleanlyAndRecovers) {
+  sweep_site_over_zoo("server.dispatch=*", /*expect_all_ok=*/false,
+                      [](const models::ModelDef&, BatchServer& server) {
+                        EXPECT_GE(server.health().dispatch_retries, 1);
+                        EXPECT_GE(server.health().bisect_reruns, 1);
+                      });
+}
+
+// -- interpreter fallback is the bit-identical oracle -----------------------
+
+TEST(FaultSweep, DegradedPlanInterpreterFallbackMatchesOracle) {
+  // With the toolchain failing, a degraded plan's run_ilir (jit_refresh
+  // asking tolerantly, backoff suppressing) must produce exactly the
+  // interpreter oracle's buffers; once the fault clears and the backoff
+  // is lifted, the refresh rebuilds the kernel and results stay
+  // bit-identical.
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  dir_env.set(fresh_cache_dir());
+  jit_env.set("1");
+  reset_compile_state();
+  const JitRetryPolicy saved = JitCache::instance().retry_policy();
+  JitCache::instance().set_retry_policy({0, 8});  // no wait between retries
+
+  Rng rng(37);
+  const models::ModelDef def = models::make_treelstm_embed(16);
+  const models::ModelParams params = models::init_params(def, rng);
+  FaultInjector::instance().configure("jit.cc=*");
+  const CompiledArtifacts a =
+      compile_artifacts(def, ra::Schedule{}, gpu());
+  EXPECT_TRUE(a.jit_degraded);
+  EXPECT_EQ(a.jit, nullptr);
+  EXPECT_FALSE(a.jit_error.empty());
+
+  auto trees = ds::make_sst_like_batch(3, rng);
+  const linearizer::Linearized lin =
+      linearizer::linearize_trees(baselines::raw(trees), a.lowered->lin_spec);
+
+  IlirRunOptions degraded_opts;
+  degraded_opts.plan = a.plan.ilir_memory.get();
+  degraded_opts.jit_refresh = true;
+  degraded_opts.jit_refresh_plan_opts.live_out = {a.lowered->output};
+  const IlirRun degraded = run_ilir(*a.optimized, lin, params, degraded_opts);
+
+  IlirRunOptions oracle_opts;
+  oracle_opts.plan = a.plan.ilir_memory.get();
+  const IlirRun oracle = run_ilir(*a.optimized, lin, params, oracle_opts);
+
+  ASSERT_EQ(degraded.barriers, oracle.barriers);
+  for (const auto& [name, tensor] : degraded.buffers) {
+    const Tensor& refbuf = oracle.at(name);
+    ASSERT_EQ(tensor.numel(), refbuf.numel()) << name;
+    EXPECT_EQ(std::memcmp(tensor.data(), refbuf.data(),
+                          static_cast<std::size_t>(tensor.numel()) *
+                              sizeof(float)),
+              0)
+        << "degraded interpreter fallback diverged in " << name;
+  }
+
+  // Toolchain recovers: the next refresh rebuilds and runs the kernel.
+  FaultInjector::instance().reset();
+  const JitStats before = JitCache::instance().stats();
+  runtime::Profiler prof;
+  IlirRunOptions recovered_opts = degraded_opts;
+  recovered_opts.profiler = &prof;
+  const IlirRun recovered =
+      run_ilir(*a.optimized, lin, params, recovered_opts);
+  EXPECT_EQ(prof.jit_runs, 1) << "refresh did not re-acquire the kernel";
+  EXPECT_GE(JitCache::instance().stats().retries, before.retries + 1);
+  ASSERT_EQ(recovered.barriers, oracle.barriers);
+  for (const auto& [name, tensor] : recovered.buffers) {
+    const Tensor& refbuf = oracle.at(name);
+    EXPECT_EQ(std::memcmp(tensor.data(), refbuf.data(),
+                          static_cast<std::size_t>(tensor.numel()) *
+                              sizeof(float)),
+              0)
+        << "recovered kernel diverged in " << name;
+  }
+  JitCache::instance().set_retry_policy(saved);
+}
+
+}  // namespace
+}  // namespace cortex::exec

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "models/model_zoo.hpp"
 #include "runtime/device.hpp"
 #include "runtime/profiler.hpp"
+#include "support/fault_injection.hpp"
 #include "support/logging.hpp"
 
 namespace cortex::exec {
@@ -350,6 +352,300 @@ TEST(JitCacheTest, DisabledJitLeavesArtifactsWithoutKernel) {
       compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
   EXPECT_TRUE(a.optimized.has_value());
   EXPECT_TRUE(a.jit == nullptr);
+}
+
+// -- crash consistency: distrusted artifacts quarantine, never run -----------
+
+/// A fresh private artifact directory for one test (the shared
+/// test_cache_dir() would let other tests' artifacts interfere with
+/// directory-content assertions).
+std::string fresh_dir() {
+  char tmpl[] = "/tmp/cortex-jit-crash-XXXXXX";
+  const char* d = mkdtemp(tmpl);
+  EXPECT_NE(d, nullptr);
+  return d != nullptr ? d : "/tmp/cortex-jit-crash-fallback";
+}
+
+/// Runs the kernel and the interpreter over a small batch and requires
+/// bit-identical buffers — the "zero wrong answers" check every recovery
+/// test ends with.
+void expect_kernel_correct(const models::ModelDef& def,
+                           const lowering::LoweredModel& lm,
+                           const JitKernelPtr& kernel, std::uint64_t seed) {
+  Rng rng(seed);
+  const models::ModelParams params = models::init_params(def, rng);
+  const linearizer::Linearized lin = linearize_for(def, lm, 2, rng);
+  IlirRunOptions jit_opts;
+  jit_opts.jit = kernel.get();
+  const IlirRun jit_run = run_ilir(lm.program, lin, params, jit_opts);
+  const IlirRun interp_run = run_ilir(lm.program, lin, params);
+  expect_runs_bit_identical(jit_run, interp_run, "recovered kernel");
+}
+
+std::size_t count_quarantined(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().filename().string().find(".quarantined.") !=
+        std::string::npos)
+      ++n;
+  return n;
+}
+
+TEST(JitCrashConsistency, TruncatedSharedObjectQuarantinesAndRecompiles) {
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  const std::string dir = fresh_dir();
+  dir_env.set(dir);
+  jit_env.set("1");
+  const models::ModelDef def = models::make_treefc(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  JitCache& cache = JitCache::instance();
+  // Cold memory cache: a kernel left over from an earlier test (same
+  // program, different artifact dir) would satisfy the build without
+  // ever touching this test's private directory.
+  cache.clear_memory();
+  std::string lib;
+  {
+    const JitKernelPtr first = cache.get_or_build(lm.program, nullptr);
+    ASSERT_TRUE(first != nullptr);
+    lib = first->library_path();
+  }
+  // Drop every live handle before corrupting the file: truncating a
+  // still-mapped .so SIGBUSes the old mapping, which is not the scenario
+  // under test (corruption discovered on a fresh load after a restart).
+  cache.clear_memory();
+
+  // Simulate a torn write / disk corruption: truncate the published .so
+  // to half its bytes (its sidecar digest no longer matches).
+  const auto full = std::filesystem::file_size(lib);
+  std::filesystem::resize_file(lib, full / 2);
+
+  const JitStats before = cache.stats();
+  const JitKernelPtr second = cache.get_or_build(lm.program, nullptr);
+  const JitStats after = cache.stats();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_FALSE(second->from_disk());  // the corrupt artifact never loaded
+  EXPECT_EQ(after.compiles, before.compiles + 1);
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  // Quarantine renames aside (forensics), never deletes.
+  EXPECT_GE(count_quarantined(dir), 1u);
+  expect_kernel_correct(def, lm, second, 59);
+}
+
+TEST(JitCrashConsistency, GarbageSourceWithMatchingNameQuarantines) {
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  const std::string dir = fresh_dir();
+  dir_env.set(dir);
+  jit_env.set("1");
+  const models::ModelDef def = models::make_treegru(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  JitCache& cache = JitCache::instance();
+  cache.clear_memory();  // force the build into this test's private dir
+  const JitKernelPtr first = cache.get_or_build(lm.program, nullptr);
+  ASSERT_TRUE(first != nullptr);
+  const std::string lib = first->library_path();
+  const std::string src = lib.substr(0, lib.size() - 3) + ".c";
+
+  // Garbage .c under the correct digest name: the source comparison
+  // fails, so the (intact!) .so next to it is still distrusted — renamed
+  // aside, never dlopen'd — and the kernel recompiles.
+  {
+    std::ofstream out(src, std::ios::trunc);
+    out << "int not_a_kernel;\n";
+  }
+  cache.clear_memory();
+  const JitStats before = cache.stats();
+  const JitKernelPtr second = cache.get_or_build(lm.program, nullptr);
+  const JitStats after = cache.stats();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_FALSE(second->from_disk());
+  EXPECT_EQ(after.compiles, before.compiles + 1);
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  EXPECT_GE(count_quarantined(dir), 1u);
+  expect_kernel_correct(def, lm, second, 61);
+}
+
+TEST(JitCrashConsistency, MissingSidecarQuarantinesAndRecompiles) {
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  const std::string dir = fresh_dir();
+  dir_env.set(dir);
+  jit_env.set("1");
+  const models::ModelDef def = models::make_simple_treegru(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  JitCache& cache = JitCache::instance();
+  cache.clear_memory();  // force the build into this test's private dir
+  const JitKernelPtr first = cache.get_or_build(lm.program, nullptr);
+  ASSERT_TRUE(first != nullptr);
+
+  // Simulate a crash between publishing the .so and persisting its
+  // sidecar: the .so is intact but unsigned, and an unsigned artifact is
+  // never trusted.
+  std::filesystem::remove(first->library_path() + ".sig");
+  cache.clear_memory();
+  const JitStats before = cache.stats();
+  const JitKernelPtr second = cache.get_or_build(lm.program, nullptr);
+  const JitStats after = cache.stats();
+  ASSERT_TRUE(second != nullptr);
+  EXPECT_FALSE(second->from_disk());
+  EXPECT_EQ(after.compiles, before.compiles + 1);
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  expect_kernel_correct(def, lm, second, 67);
+}
+
+TEST(JitCrashConsistency, FailedCompileLeavesNoStrandedFiles) {
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard cc_env("CORTEX_JIT_CC");
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  const std::string dir = fresh_dir();
+  dir_env.set(dir);
+  jit_env.set("1");
+  cc_env.set("/bin/false");
+  const models::ModelDef def = models::make_treernn(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+  EXPECT_THROW(JitCache::instance().get_or_build(lm.program, nullptr),
+               cortex::Error);
+  // A failed toolchain invocation must not strand the published source,
+  // the half-built object, or the log in the cache directory.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    ADD_FAILURE() << "stranded file after failed compile: " << e.path();
+  }
+  EXPECT_EQ(files, 0u);
+}
+
+// -- degraded plans and the backoff-budgeted recompile -----------------------
+
+/// Saves/restores the process-wide retry policy (tests use zero backoff
+/// or huge backoff to pin timing without sleeping).
+class RetryPolicyGuard {
+ public:
+  RetryPolicyGuard() : saved_(JitCache::instance().retry_policy()) {}
+  ~RetryPolicyGuard() {
+    JitCache::instance().set_retry_policy(saved_);
+    JitCache::instance().clear_backoff();
+  }
+
+ private:
+  JitRetryPolicy saved_;
+};
+
+TEST(JitBackoffTest, TolerantAcquisitionAbsorbsFailureAndSuppressesRetries) {
+  test_cache_dir();
+  EnvGuard cc_env("CORTEX_JIT_CC");
+  cc_env.set("/bin/false");
+  RetryPolicyGuard policy;
+  JitCache& cache = JitCache::instance();
+  cache.clear_backoff();
+  // Huge backoff window: the second ask must be answered from the
+  // ledger, without touching the toolchain again.
+  cache.set_retry_policy({1000 * 60 * 60, 8});
+  const models::ModelDef def = models::make_treegru_embed(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  const JitStats s0 = cache.stats();
+  const JitTryResult r1 = cache.try_get_or_build(lm.program, nullptr);
+  EXPECT_EQ(r1.kernel, nullptr);
+  EXPECT_FALSE(r1.suppressed);  // a build was attempted (and failed)
+  EXPECT_FALSE(r1.error.empty());
+  const JitStats s1 = cache.stats();
+  EXPECT_EQ(s1.failures, s0.failures + 1);
+
+  const JitTryResult r2 = cache.try_get_or_build(lm.program, nullptr);
+  EXPECT_EQ(r2.kernel, nullptr);
+  EXPECT_TRUE(r2.suppressed);  // backoff window still open
+  EXPECT_FALSE(r2.error.empty());
+  const JitStats s2 = cache.stats();
+  EXPECT_EQ(s2.failures, s1.failures);  // no second toolchain invocation
+  EXPECT_EQ(s2.backoff_suppressed, s1.backoff_suppressed + 1);
+}
+
+TEST(JitBackoffTest, RetryBudgetExhaustionStopsAskingTheToolchain) {
+  test_cache_dir();
+  EnvGuard cc_env("CORTEX_JIT_CC");
+  cc_env.set("/bin/false");
+  RetryPolicyGuard policy;
+  JitCache& cache = JitCache::instance();
+  cache.clear_backoff();
+  cache.set_retry_policy({0, 2});  // immediate retries, budget of 2
+  const models::ModelDef def = models::make_mvrnn(8);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  const JitStats s0 = cache.stats();
+  EXPECT_FALSE(cache.try_get_or_build(lm.program, nullptr).suppressed);
+  EXPECT_FALSE(cache.try_get_or_build(lm.program, nullptr).suppressed);
+  // Budget spent: every further ask is suppressed, forever, until
+  // clear_backoff (or a success elsewhere).
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(cache.try_get_or_build(lm.program, nullptr).suppressed);
+  const JitStats s1 = cache.stats();
+  EXPECT_EQ(s1.failures, s0.failures + 2);
+  EXPECT_EQ(s1.retries, s0.retries + 1);  // the 2nd attempt was a retry
+  EXPECT_EQ(s1.backoff_suppressed, s0.backoff_suppressed + 3);
+
+  // clear_backoff lifts the embargo ("the toolchain is fixed now").
+  cache.clear_backoff();
+  EXPECT_FALSE(cache.try_get_or_build(lm.program, nullptr).suppressed);
+}
+
+TEST(JitBackoffTest, SuccessAfterFailureClearsTheRecordAndServesKernels) {
+  // A private artifact dir + cold memory cache: an artifact left behind
+  // by an earlier test would satisfy the ask before the armed jit.cc
+  // site is ever consulted.
+  EnvGuard dir_env("CORTEX_JIT_CACHE_DIR");
+  dir_env.set(fresh_dir());
+  RetryPolicyGuard policy;
+  struct FaultGuard {
+    ~FaultGuard() { support::FaultInjector::instance().reset(); }
+  } fault_guard;
+  JitCache& cache = JitCache::instance();
+  cache.clear_memory();
+  cache.clear_backoff();
+  cache.set_retry_policy({0, 8});  // no wait between attempts
+  const models::ModelDef def = models::make_treelstm(16);
+  const lowering::LoweredModel lm = lowering::lower(*def.model, ra::Schedule{});
+
+  // Fail via the jit.cc fault site, NOT a different CORTEX_JIT_CC: the
+  // compiler command is part of the kernel key, so swapping compilers
+  // would record the failure and the recovery under different keys.
+  support::FaultInjector::instance().configure("jit.cc=*");
+  EXPECT_EQ(cache.try_get_or_build(lm.program, nullptr).kernel, nullptr);
+
+  // Toolchain recovers: the next tolerant ask rebuilds and succeeds.
+  support::FaultInjector::instance().reset();
+  const JitTryResult ok = cache.try_get_or_build(lm.program, nullptr);
+  ASSERT_TRUE(ok.kernel != nullptr);
+  EXPECT_FALSE(ok.suppressed);
+  expect_kernel_correct(def, lm, ok.kernel, 71);
+
+  // The failure record is gone: strict acquisition is a memory hit.
+  const JitStats before = cache.stats();
+  EXPECT_EQ(cache.get_or_build(lm.program, nullptr).get(), ok.kernel.get());
+  EXPECT_EQ(cache.stats().memory_hits, before.memory_hits + 1);
+}
+
+TEST(JitBackoffTest, DegradedCompileArtifactsCarryTheError) {
+  test_cache_dir();
+  EnvGuard jit_env("CORTEX_JIT");
+  EnvGuard cc_env("CORTEX_JIT_CC");
+  RetryPolicyGuard policy;
+  JitCache::instance().clear_backoff();
+  jit_env.set("1");
+  cc_env.set("/bin/false");
+  const models::ModelDef def = models::make_seq_gru(16);
+  // Tolerant compile: a broken toolchain degrades the plan instead of
+  // failing compilation.
+  const CompiledArtifacts a =
+      compile_artifacts(def, ra::Schedule{}, runtime::DeviceSpec::v100_gpu());
+  EXPECT_TRUE(a.optimized.has_value());
+  EXPECT_EQ(a.jit, nullptr);
+  EXPECT_TRUE(a.jit_degraded);
+  EXPECT_FALSE(a.jit_error.empty());
 }
 
 }  // namespace
